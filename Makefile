@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate every table/figure at the paper's step counts.
+experiments:
+	$(GO) run ./cmd/experiments -run all -scale 1 -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/turbulence
+	$(GO) run ./examples/evrard
+	$(GO) run ./examples/sedov
+	$(GO) run ./examples/dvfstrace
+	$(GO) run ./examples/measurement
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/customcode
+
+clean:
+	rm -rf results

@@ -1,0 +1,45 @@
+package sphenergy
+
+import (
+	"testing"
+
+	"sphenergy/internal/gravity"
+	"sphenergy/internal/initcond"
+	"sphenergy/internal/sph"
+)
+
+// benchmarkSPHStep drives the real Go SPH solver for b.N full pipeline
+// steps on an nSide³ turbulent box.
+func benchmarkSPHStep(b *testing.B, nSide int) {
+	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
+	opt.NgTarget = 48
+	st := sph.NewState(p, opt)
+	// Warm-up: settle smoothing lengths.
+	st.FindNeighbors()
+	st.XMass()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.FindNeighbors()
+		st.XMass()
+		st.NormalizationGradh()
+		st.EquationOfState()
+		st.IADVelocityDivCurl()
+		st.AVSwitches(st.Dt)
+		st.MomentumEnergy()
+		dt := st.Timestep()
+		st.UpdateQuantities(dt)
+	}
+	b.ReportMetric(float64(p.N), "particles")
+}
+
+// BenchmarkGravityTree measures Barnes-Hut tree build + traversal.
+func BenchmarkGravityTree(b *testing.B) {
+	p, opt := initcond.Evrard(initcond.DefaultEvrard(20))
+	pot := make([]float64, p.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := gravity.Build(p.X, p.Y, p.Z, p.M, opt.GravTheta, opt.GravEps, opt.GravG)
+		tree.AccelerationsInto(p.AX, p.AY, p.AZ, pot)
+	}
+	b.ReportMetric(float64(p.N), "particles")
+}

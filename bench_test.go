@@ -1,0 +1,392 @@
+package sphenergy
+
+// Benchmark harness: one benchmark per table/figure of the paper plus
+// ablation benches for the design choices called out in DESIGN.md §5.
+// Custom metrics attach the headline numbers of each experiment so that
+// `go test -bench . -benchmem` regenerates the paper's rows; the full
+// printed tables come from `go run ./cmd/experiments`.
+
+import (
+	"fmt"
+	"testing"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/experiments"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/tuner"
+)
+
+// benchScale keeps benchmark iterations fast; the normalized shapes the
+// metrics report are step-count invariant.
+const benchScale = 0.05
+
+func BenchmarkTableI(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.TableI().Render()
+	}
+	b.ReportMetric(float64(len(out)), "render_bytes")
+}
+
+func BenchmarkFig1(b *testing.B) {
+	var pts int
+	for i := 0; i < b.N; i++ {
+		pts = len(experiments.Fig1().Points)
+	}
+	b.ReportMetric(float64(pts), "implementations")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	var d *experiments.Fig2Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.BestFor(core.FnMomentum)), "momentum_best_mhz")
+	b.ReportMetric(float64(d.BestFor(core.FnXMass)), "xmass_best_mhz")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	var d *experiments.Fig3Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*d.Series[0].MaxRelativeGap(), "cscs_max_gap_pct")
+	b.ReportMetric(100*d.Series[1].MaxRelativeGap(), "lumi_max_gap_pct")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	var d *experiments.Fig4Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, br := range d.Breakdowns {
+		b.ReportMetric(100*br.GPUShare(), br.Label+"_gpu_pct")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	var d *experiments.Fig5Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*d.ShareOf("LUMI-Turb", core.FnMomentum), "lumi_momentum_pct")
+	b.ReportMetric(100*d.ShareOf("CSCS-A100-Turb", core.FnMomentum), "cscs_momentum_pct")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var d *experiments.Fig6Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s, ok := d.SeriesFor(200); ok {
+		b.ReportMetric(float64(s.BestMHz), "best_mhz_200cubed")
+		b.ReportMetric(s.Points[len(s.Points)-1].EDPNorm, "edp_200cubed_at_1005")
+	}
+	if s, ok := d.SeriesFor(450); ok {
+		b.ReportMetric(s.Points[len(s.Points)-1].EDPNorm, "edp_450cubed_at_1005")
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var d *experiments.Fig7Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if md, ok := d.Row("mandyn"); ok {
+		b.ReportMetric(md.TimeNorm, "mandyn_time_ratio")
+		b.ReportMetric(md.EnergyNorm, "mandyn_energy_ratio")
+		b.ReportMetric(md.EDPNorm, "mandyn_edp_ratio")
+	}
+	if st, ok := d.Row("static-1005"); ok {
+		b.ReportMetric(st.EDPNorm, "static1005_edp_ratio")
+	}
+	if dv, ok := d.Row("dvfs"); ok {
+		b.ReportMetric(dv.EnergyNorm, "dvfs_energy_ratio")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var d *experiments.Fig8Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if c, ok := d.CellFor(core.FnMomentum, 1005); ok {
+		b.ReportMetric(c.TimeNorm, "momentum_time_at_1005")
+		b.ReportMetric(c.EnergyNorm, "momentum_energy_at_1005")
+	}
+	if c, ok := d.CellFor(core.FnXMass, 1005); ok {
+		b.ReportMetric(c.EDPNorm, "xmass_edp_at_1005")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	var d *experiments.Fig9Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.Fig9(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.MeanClockMHz[core.FnMomentum], "momentum_mean_mhz")
+	b.ReportMetric(d.MeanClockMHz[core.FnDomainDecomp], "domaindecomp_mean_mhz")
+	b.ReportMetric(float64(d.MinClockMHz), "min_mhz")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationBoostHold varies the governor's post-kernel boost-hold
+// window, the parameter behind the DVFS energy penalty of Fig. 7.
+func BenchmarkAblationBoostHold(b *testing.B) {
+	for _, holdMS := range []float64{0, 5, 10, 20} {
+		b.Run(fmt.Sprintf("hold=%gms", holdMS), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				spec := cluster.MiniHPC()
+				spec.GPUSpec.BoostHoldS = holdMS / 1000
+				base, err := core.Run(core.Config{
+					System: spec, Ranks: 1, Sim: core.Turbulence,
+					ParticlesPerRank: 450 * 450 * 450, Steps: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dvfs, err := core.Run(core.Config{
+					System: spec, Ranks: 1, Sim: core.Turbulence,
+					ParticlesPerRank: 450 * 450 * 450, Steps: 5,
+					NewStrategy: func() freqctl.Strategy { return freqctl.DVFS{} },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = dvfs.GPUEnergyJ() / base.GPUEnergyJ()
+			}
+			b.ReportMetric(ratio, "dvfs_energy_ratio")
+		})
+	}
+}
+
+// BenchmarkAblationGCD compares per-card vs per-die energy attribution on
+// LUMI-G, the §III-B measurement-granularity question.
+func BenchmarkAblationGCD(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{
+			System: cluster.LUMIG(), Ranks: 8, Sim: core.Turbulence,
+			ParticlesPerRank: 20e6, Steps: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		node := res.System.Nodes[0]
+		// Max relative difference between the two GCDs of one card: the
+		// information per-card counters destroy.
+		spread = 0
+		for card := 0; card < node.NumCards(); card++ {
+			a := node.Devices[2*card].EnergyJ()
+			c := node.Devices[2*card+1].EnergyJ()
+			d := (a - c) / (a + c)
+			if d < 0 {
+				d = -d
+			}
+			if d > spread {
+				spread = d
+			}
+		}
+	}
+	b.ReportMetric(100*spread, "gcd_energy_spread_pct")
+}
+
+// BenchmarkAblationTunerStrategy compares the search strategies'
+// evaluation counts on the Fig. 2 tuning problem.
+func BenchmarkAblationTunerStrategy(b *testing.B) {
+	kernel := core.TurbulencePipeline()[7] // MomentumEnergy
+	desc := kernel.Kernel(450*450*450, 150, gpusim.Nvidia)
+	for _, strat := range []tuner.StrategyKind{tuner.BruteForce, tuner.RandomSample, tuner.HillClimb} {
+		b.Run(string(strat), func(b *testing.B) {
+			var res *tuner.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = tuner.TuneKernel("MomentumEnergy", desc, tuner.Config{
+					Spec:     gpusim.A100PCIE40GB(),
+					Params:   tuner.Params{MinMHz: 1005, MaxMHz: 1410},
+					Strategy: strat,
+					Seed:     7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Evaluations), "evaluations")
+			b.ReportMetric(float64(res.Best.MHz), "best_mhz")
+		})
+	}
+}
+
+// BenchmarkAblationHostOverhead varies the host-side serial overheads that
+// control how much small problems benefit from down-scaling (Fig. 6).
+func BenchmarkAblationHostOverhead(b *testing.B) {
+	for _, scale := range []float64{0.5, 1, 2} {
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			var edp float64
+			for i := 0; i < b.N; i++ {
+				run := func(mhz int) *core.Result {
+					res, err := core.Run(core.Config{
+						System: cluster.MiniHPC(), Ranks: 1, Sim: core.Turbulence,
+						ParticlesPerRank: 200 * 200 * 200, Steps: 5,
+						HostOverheadScale: scale,
+						NewStrategy:       func() freqctl.Strategy { return freqctl.Static{MHz: mhz} },
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return res
+				}
+				base := run(1410)
+				low := run(1005)
+				edp = low.GPUEDP() / base.GPUEDP()
+			}
+			b.ReportMetric(edp, "edp_1005_ratio_200cubed")
+		})
+	}
+}
+
+// BenchmarkSPHStep measures the real Go SPH solver's step throughput — the
+// computational substrate itself, not the virtual-time model.
+func BenchmarkSPHStep(b *testing.B) {
+	benchmarkSPHStep(b, 16)
+}
+
+func BenchmarkSPHStepLarge(b *testing.B) {
+	benchmarkSPHStep(b, 24)
+}
+
+// BenchmarkGPUSimExecute measures the simulator's kernel-execution
+// overhead (the cost of one virtual kernel launch).
+func BenchmarkGPUSimExecute(b *testing.B) {
+	dev := gpusim.NewDevice(gpusim.A100SXM480GB(), 0)
+	dev.SetApplicationClocks(0, 1410)
+	k := gpusim.KernelDesc{Name: "bench", Items: 91e6, FlopsPerItem: 25000, BytesPerItem: 5000, EffFactor: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Execute(k)
+	}
+}
+
+// BenchmarkRunnerStep measures the full instrumented pipeline cost per
+// simulated time-step (all functions, one rank).
+func BenchmarkRunnerStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := core.Run(core.Config{
+			System: cluster.MiniHPC(), Ranks: 1, Sim: core.Turbulence,
+			ParticlesPerRank: 450 * 450 * 450, Steps: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtAMD reports the §V future-work experiment: ManDyn on AMD.
+func BenchmarkExtAMD(b *testing.B) {
+	var d *experiments.ExtAMDData
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.ExtAMD(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if md, ok := d.Row("mandyn"); ok {
+		b.ReportMetric(md.TimeNorm, "mandyn_time_ratio")
+		b.ReportMetric(md.EnergyNorm, "mandyn_energy_ratio")
+	}
+}
+
+// BenchmarkExtPowerCap reports the frequency-vs-power-cap comparison.
+func BenchmarkExtPowerCap(b *testing.B) {
+	var d *experiments.ExtPowerCapData
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = experiments.ExtPowerCap(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if md, ok := d.Row("mandyn"); ok {
+		b.ReportMetric(md.EDPNorm, "mandyn_edp_ratio")
+	}
+	if pc, ok := d.Row("powercap-190"); ok {
+		b.ReportMetric(pc.EDPNorm, "powercap190_edp_ratio")
+	}
+}
+
+// BenchmarkAblationTimingModel compares the additive (partial-overlap)
+// kernel timing model against the ideal roofline max(tc, tm): the additive
+// model yields the paper's smooth per-kernel frequency sensitivity, the
+// pure roofline makes sensitivity all-or-nothing and shifts the Fig. 7
+// outcome.
+func BenchmarkAblationTimingModel(b *testing.B) {
+	for _, roofline := range []bool{false, true} {
+		name := "additive"
+		if roofline {
+			name = "roofline"
+		}
+		b.Run(name, func(b *testing.B) {
+			var time, energy float64
+			for i := 0; i < b.N; i++ {
+				spec := cluster.MiniHPC()
+				spec.GPUSpec.PureRooflineOverlap = roofline
+				base, err := core.Run(core.Config{
+					System: spec, Ranks: 1, Sim: core.Turbulence,
+					ParticlesPerRank: 450 * 450 * 450, Steps: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				low, err := core.Run(core.Config{
+					System: spec, Ranks: 1, Sim: core.Turbulence,
+					ParticlesPerRank: 450 * 450 * 450, Steps: 5,
+					NewStrategy: func() freqctl.Strategy { return freqctl.Static{MHz: 1005} },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				time = low.WallTimeS / base.WallTimeS
+				energy = low.GPUEnergyJ() / base.GPUEnergyJ()
+			}
+			b.ReportMetric(time, "static1005_time_ratio")
+			b.ReportMetric(energy, "static1005_energy_ratio")
+		})
+	}
+}

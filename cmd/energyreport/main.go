@@ -1,0 +1,79 @@
+// Command energyreport analyzes a JSON energy report written by sphexa
+// (or by the library's instr package): per-device and per-function
+// breakdowns, rank statistics, and optional comparison against a baseline
+// report — the post-hoc analysis step of the paper's workflow (§III-B).
+//
+// Examples:
+//
+//	energyreport run.json
+//	energyreport -baseline base.json mandyn.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/instr"
+	"sphenergy/internal/report"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline report to normalize against")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: energyreport [-baseline base.json] <report.json>")
+		os.Exit(2)
+	}
+
+	r, err := instr.ReadReportFile(flag.Arg(0))
+	fatalIf(err)
+
+	fmt.Printf("simulation: %s on %s (%d ranks, strategy %s)\n",
+		r.Simulation, r.System, len(r.Ranks), r.Strategy)
+	fmt.Printf("wall time: %.1f s, total energy: %.3f MJ, EDP: %.4g J*s\n\n",
+		r.WallTimeS, r.TotalEnergyJ/1e6, r.EDP())
+
+	spec, err := cluster.SystemByName(r.System)
+	if err != nil {
+		// Unknown system names still get a breakdown without memory split.
+		spec = cluster.NodeSpec{Name: r.System}
+	}
+	fmt.Print(report.NewDeviceBreakdown(r, spec, r.Simulation).Render())
+	fmt.Println()
+	fmt.Print(report.NewFunctionBreakdown(r, r.Simulation).Render())
+
+	// Per-rank imbalance summary.
+	if len(r.Ranks) > 1 {
+		minT, maxT := -1.0, 0.0
+		for _, rp := range r.Ranks {
+			t := rp.TotalGPUJ()
+			if minT < 0 || t < minT {
+				minT = t
+			}
+			if t > maxT {
+				maxT = t
+			}
+		}
+		fmt.Printf("\nper-rank GPU energy spread: min %.1f J, max %.1f J (%.2f%% imbalance)\n",
+			minT, maxT, 100*(maxT-minT)/maxT)
+	}
+
+	if *baseline != "" {
+		b, err := instr.ReadReportFile(*baseline)
+		fatalIf(err)
+		n := report.Normalize(r.Strategy, r.WallTimeS, r.TotalEnergyJ, b.WallTimeS, b.TotalEnergyJ)
+		fmt.Println()
+		fmt.Print(report.RenderNormalizedTable(
+			fmt.Sprintf("normalized to %s (%s)", b.Strategy, *baseline),
+			[]report.Normalized{n}))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energyreport:", err)
+		os.Exit(1)
+	}
+}

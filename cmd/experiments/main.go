@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated systems.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig7
+//	experiments -run all -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sphenergy/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "all", "experiment id to run (table1, fig1..fig9, ext-*, all)")
+	scale := flag.Float64("scale", 1.0, "step-count scale factor (1.0 = the paper's 100 steps)")
+	outDir := flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	names := []string{*run}
+	if *run == "all" {
+		names = experiments.Names()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, name := range names {
+		res, err := experiments.Run(name, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		out := res.Render()
+		fmt.Println("=================================================================")
+		fmt.Println(out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command freqtuner runs the KernelTuner-style per-kernel GPU frequency
+// search (§III-C) and prints the best frequency per SPH-EXA function — the
+// workflow behind Fig. 2 and the input table for ManDyn.
+//
+// Example:
+//
+//	freqtuner -system minihpc -sim turbulence -ppr 450^3 -objective edp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/tuner"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "minihpc", "system: lumi-g, cscs-a100 or minihpc")
+		simName   = flag.String("sim", "turbulence", "simulation: turbulence or evrard")
+		pprFlag   = flag.String("ppr", "450^3", "particles per rank")
+		ng        = flag.Int("ng", 150, "SPH neighbor count")
+		minMHz    = flag.Int("min", 1005, "lowest candidate frequency (MHz)")
+		maxMHz    = flag.Int("max", 0, "highest candidate frequency (MHz, 0 = device max)")
+		objective = flag.String("objective", "edp", "objective: time, energy, edp, ed2p")
+		strategy  = flag.String("strategy", "brute_force", "search: brute_force, random_sample, greedy_ils")
+		verbose   = flag.Bool("v", false, "print the full sweep per kernel")
+	)
+	flag.Parse()
+
+	spec, err := cluster.SystemByName(*system)
+	fatalIf(err)
+	pipeline, err := core.Pipeline(core.SimKind(*simName))
+	fatalIf(err)
+	ppr, err := parsePPR(*pprFlag)
+	fatalIf(err)
+
+	var obj tuner.Objective
+	switch *objective {
+	case "time":
+		obj = tuner.TimeToSolution
+	case "energy":
+		obj = tuner.EnergyToSolution
+	case "edp":
+		obj = tuner.EDP
+	case "ed2p":
+		obj = tuner.ED2P
+	default:
+		fatalIf(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	cfg := tuner.Config{
+		Spec:      spec.GPUSpec,
+		Params:    tuner.Params{MinMHz: *minMHz, MaxMHz: *maxMHz},
+		Objective: obj,
+		Strategy:  tuner.StrategyKind(*strategy),
+	}
+
+	fmt.Printf("tuning %s kernels on %s (%s), objective %s, %s\n\n",
+		*simName, spec.Name, spec.GPUSpec.Name, *objective, *strategy)
+	fmt.Printf("%-22s %10s %12s %12s %8s\n", "function", "best MHz", "time(s)", "energy(J)", "evals")
+	for _, fn := range pipeline {
+		kernel := fn.Kernel(ppr, *ng, spec.GPUSpec.Vendor)
+		res, err := tuner.TuneKernel(fn.Name, kernel, cfg)
+		fatalIf(err)
+		fmt.Printf("%-22s %10d %12.4f %12.1f %8d\n",
+			fn.Name, res.Best.MHz, res.Best.TimeS, res.Best.EnergyJ, res.Evaluations)
+		if *verbose {
+			for _, m := range res.All {
+				fmt.Printf("    %5d MHz  t=%.4fs  E=%.1fJ  score=%.4g\n", m.MHz, m.TimeS, m.EnergyJ, m.Score)
+			}
+		}
+	}
+}
+
+func parsePPR(s string) (float64, error) {
+	if strings.HasSuffix(s, "^3") {
+		side, err := strconv.Atoi(strings.TrimSuffix(s, "^3"))
+		if err != nil {
+			return 0, err
+		}
+		return float64(side) * float64(side) * float64(side), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freqtuner:", err)
+		os.Exit(1)
+	}
+}

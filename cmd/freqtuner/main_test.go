@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestParsePPR(t *testing.T) {
+	v, err := parsePPR("200^3")
+	if err != nil || v != 200*200*200 {
+		t.Errorf("200^3 = %v, %v", v, err)
+	}
+	v, err = parsePPR("8e6")
+	if err != nil || v != 8e6 {
+		t.Errorf("8e6 = %v, %v", v, err)
+	}
+	if _, err := parsePPR("abc"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parsePPR("a^3"); err == nil {
+		t.Error("bad lattice accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Command sphexa runs an instrumented simulation at paper scale on a
+// simulated Table I system and writes the per-function energy report.
+//
+// The flag names follow the SPH-EXA conventions of Table I: -n selects the
+// total particle count (in billions when >= 0.1, otherwise interpreted as a
+// lattice side), -s the step count.
+//
+// Examples:
+//
+//	sphexa -sim turbulence -system cscs-a100 -ranks 32 -s 100
+//	sphexa -sim evrard -system lumi-g -ranks 32 -s 100 -report evrard.json
+//	sphexa -sim turbulence -system minihpc -ranks 1 -strategy mandyn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sphenergy"
+	"sphenergy/internal/core"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/report"
+	"sphenergy/internal/units"
+)
+
+func main() {
+	var (
+		simName   = flag.String("sim", "turbulence", "simulation: turbulence or evrard")
+		system    = flag.String("system", "minihpc", "system: lumi-g, cscs-a100 or minihpc")
+		ranks     = flag.Int("ranks", 1, "MPI ranks (one per GPU die)")
+		steps     = flag.Int("s", 100, "time-steps")
+		pprFlag   = flag.String("ppr", "", "particles per rank (e.g. 150e6 or 450^3); default per simulation")
+		strategy  = flag.String("strategy", "baseline", "frequency strategy: baseline, static:<mhz>, dvfs, mandyn, powercap:<watts>")
+		ng        = flag.Int("ng", 150, "SPH neighbor count")
+		reportOut = flag.String("report", "", "write the JSON energy report to this path")
+		csvOut    = flag.String("csv", "", "write the per-function CSV export to this path")
+		carbon    = flag.String("carbon", "", "report CO2e for a grid: hydro, swiss, eu, coal")
+		quiet     = flag.Bool("q", false, "suppress breakdown output")
+	)
+	flag.Parse()
+
+	spec, err := sphenergy.SystemByName(*system)
+	fatalIf(err)
+
+	sim := core.SimKind(*simName)
+	ppr, err := resolvePPR(*pprFlag, sim)
+	fatalIf(err)
+
+	cfg := sphenergy.Config{
+		System:           spec,
+		Ranks:            *ranks,
+		Sim:              sim,
+		ParticlesPerRank: ppr,
+		Steps:            *steps,
+		Ng:               *ng,
+	}
+
+	switch {
+	case *strategy == "baseline":
+		cfg.NewStrategy = sphenergy.Baseline()
+	case *strategy == "dvfs":
+		cfg.NewStrategy = sphenergy.DVFS()
+	case strings.HasPrefix(*strategy, "static:"):
+		mhz, err := strconv.Atoi(strings.TrimPrefix(*strategy, "static:"))
+		fatalIf(err)
+		cfg.NewStrategy = sphenergy.StaticMHz(mhz)
+	case strings.HasPrefix(*strategy, "powercap:"):
+		w, err := strconv.ParseFloat(strings.TrimPrefix(*strategy, "powercap:"), 64)
+		fatalIf(err)
+		cfg.NewStrategy = func() sphenergy.Strategy { return freqctl.PowerCap{Watts: w} }
+	case *strategy == "mandyn":
+		table, err := sphenergy.TuneFrequencies(spec, sim, ppr, *ng)
+		fatalIf(err)
+		fmt.Println("tuned per-function frequencies (MHz):")
+		for _, fn := range core.PipelineFunctionNames(sim) {
+			fmt.Printf("  %-22s %d\n", fn, table[fn])
+		}
+		cfg.NewStrategy = sphenergy.ManDyn(table)
+	default:
+		fatalIf(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	res, err := sphenergy.Run(cfg)
+	fatalIf(err)
+
+	fmt.Printf("simulation %s on %s: %d ranks, %d steps, %.3g particles/rank\n",
+		sim, spec.Name, *ranks, *steps, ppr)
+	fmt.Printf("time-to-solution: %.1f s\n", res.WallTimeS)
+	fmt.Printf("total energy:     %.3f MJ (GPU %.3f MJ)\n",
+		res.EnergyJ()/1e6, res.GPUEnergyJ()/1e6)
+	fmt.Printf("EDP:              %.4g J*s\n", res.EDP())
+
+	if !*quiet {
+		db := report.NewDeviceBreakdown(res.Report, spec, string(sim))
+		fmt.Println()
+		fmt.Print(db.Render())
+		fb := report.NewFunctionBreakdown(res.Report, string(sim))
+		fmt.Println()
+		fmt.Print(fb.Render())
+	}
+
+	if *carbon != "" {
+		var g units.CarbonIntensity
+		switch *carbon {
+		case "hydro":
+			g = units.GridHydro
+		case "swiss":
+			g = units.GridSwiss
+		case "eu":
+			g = units.GridEUAverage
+		case "coal":
+			g = units.GridCoalHeavy
+		default:
+			fatalIf(fmt.Errorf("unknown grid %q (want hydro, swiss, eu or coal)", *carbon))
+		}
+		fmt.Println("\ncarbon footprint:", units.NewCarbonReport(units.Energy(res.EnergyJ()), g))
+	}
+
+	if *reportOut != "" {
+		fatalIf(res.Report.WriteFile(*reportOut))
+		fmt.Printf("\nreport written to %s\n", *reportOut)
+	}
+	if *csvOut != "" {
+		fatalIf(res.Report.WriteCSVFile(*csvOut))
+		fmt.Printf("CSV written to %s\n", *csvOut)
+	}
+}
+
+// resolvePPR parses the particles-per-rank flag: "450^3" lattice notation,
+// scientific notation, or the per-simulation defaults of Table I.
+func resolvePPR(s string, sim core.SimKind) (float64, error) {
+	if s == "" {
+		if sim == core.Evrard {
+			return 80e6, nil
+		}
+		return 150e6, nil
+	}
+	if strings.HasSuffix(s, "^3") {
+		side, err := strconv.Atoi(strings.TrimSuffix(s, "^3"))
+		if err != nil {
+			return 0, fmt.Errorf("invalid lattice notation %q", s)
+		}
+		return float64(side) * float64(side) * float64(side), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid particles-per-rank %q", s)
+	}
+	return v, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sphexa:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"sphenergy/internal/core"
+)
+
+func TestResolvePPRDefaults(t *testing.T) {
+	turb, err := resolvePPR("", core.Turbulence)
+	if err != nil || turb != 150e6 {
+		t.Errorf("turbulence default = %v, %v", turb, err)
+	}
+	evr, err := resolvePPR("", core.Evrard)
+	if err != nil || evr != 80e6 {
+		t.Errorf("evrard default = %v, %v", evr, err)
+	}
+}
+
+func TestResolvePPRLatticeNotation(t *testing.T) {
+	v, err := resolvePPR("450^3", core.Turbulence)
+	if err != nil || v != 450*450*450 {
+		t.Errorf("450^3 = %v, %v", v, err)
+	}
+	if _, err := resolvePPR("x^3", core.Turbulence); err == nil {
+		t.Error("bad lattice accepted")
+	}
+}
+
+func TestResolvePPRScientific(t *testing.T) {
+	v, err := resolvePPR("1.5e7", core.Turbulence)
+	if err != nil || v != 1.5e7 {
+		t.Errorf("1.5e7 = %v, %v", v, err)
+	}
+	if _, err := resolvePPR("lots", core.Turbulence); err == nil {
+		t.Error("garbage accepted")
+	}
+}

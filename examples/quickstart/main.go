@@ -1,0 +1,59 @@
+// Quickstart: run an instrumented Subsonic Turbulence simulation on the
+// simulated miniHPC A100 node, measure per-function energy, and compare the
+// baseline against the paper's ManDyn dynamic frequency scaling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sphenergy"
+)
+
+func main() {
+	system := sphenergy.MiniHPC()
+
+	// Tune per-function frequencies once (the KernelTuner/Fig. 2 pass)...
+	table, err := sphenergy.TuneFrequencies(system, sphenergy.Turbulence, 450*450*450, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tuned per-function application clocks:")
+	for fn, mhz := range table {
+		fmt.Printf("  %-22s %4d MHz\n", fn, mhz)
+	}
+
+	// ...then run the same workload under both policies.
+	run := func(name string, strategy func() sphenergy.Strategy) *sphenergy.Result {
+		res, err := sphenergy.Run(sphenergy.Config{
+			System:           system,
+			Ranks:            1,
+			Sim:              sphenergy.Turbulence,
+			ParticlesPerRank: 450 * 450 * 450, // the paper's 450^3 tuning size
+			Steps:            20,
+			NewStrategy:      strategy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s time %7.1f s   GPU energy %8.0f J   EDP %.4g J*s\n",
+			name, res.WallTimeS, res.GPUEnergyJ(), res.GPUEDP())
+		return res
+	}
+
+	fmt.Println("\nbaseline (locked 1410 MHz) vs ManDyn (per-function clocks):")
+	base := run("baseline", sphenergy.Baseline())
+	md := run("mandyn", sphenergy.ManDyn(table))
+
+	fmt.Printf("\nManDyn vs baseline: %+.2f%% time, %+.2f%% GPU energy, %+.2f%% EDP\n",
+		100*(md.WallTimeS/base.WallTimeS-1),
+		100*(md.GPUEnergyJ()/base.GPUEnergyJ()-1),
+		100*(md.GPUEDP()/base.GPUEDP()-1))
+
+	// The report gives the per-function detail system monitoring cannot.
+	fmt.Println("\nper-function breakdown (ManDyn run):")
+	for _, fn := range md.Report.FunctionNames() {
+		st := md.Report.FunctionTotal(fn)
+		fmt.Printf("  %-22s %8.2f s  %9.1f J GPU\n", fn, st.TimeS, st.GPUJ)
+	}
+}

@@ -1,0 +1,3 @@
+module sphenergy
+
+go 1.22

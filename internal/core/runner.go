@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/instr"
+	"sphenergy/internal/mpisim"
+	"sphenergy/internal/nvml"
+	"sphenergy/internal/pmt"
+	"sphenergy/internal/rsmi"
+)
+
+// Config describes one instrumented simulation run at paper scale.
+type Config struct {
+	// System is the node architecture (Table I).
+	System cluster.NodeSpec
+	// Ranks is the MPI rank count; one rank drives one GPU die.
+	Ranks int
+	// Sim selects the workload pipeline.
+	Sim SimKind
+	// ParticlesPerRank is the local problem size (150e6 for Turbulence,
+	// 80e6 for Evrard in the paper's large runs; 450³ ≈ 91.1e6 on miniHPC).
+	ParticlesPerRank float64
+	// Ng is the SPH neighbor count (production SPH-EXA uses ~150).
+	Ng int
+	// Steps is the number of time-steps (the paper uses 100).
+	Steps int
+	// CustomPipeline supplies the instrumented function sequence when Sim
+	// is Custom, letting any GPU-accelerated code adopt the measurement and
+	// ManDyn machinery (the paper's §V future work).
+	CustomPipeline []FuncModel
+	// NewStrategy builds a per-rank frequency strategy. Nil means Baseline.
+	NewStrategy func() freqctl.Strategy
+	// Seed drives the deterministic load-imbalance jitter.
+	Seed uint64
+	// JitterSpread is the relative per-function load imbalance (default 1.5%).
+	JitterSpread float64
+	// Trace enables frequency/power trace recording on rank TraceRank's GPU.
+	Trace     bool
+	TraceRank int
+	// SetupS simulates the job-setup phase (launch, allocation, moving
+	// simulation data to GPU memory) that precedes the time-stepping loop.
+	// Slurm's energy accounting covers it; PMT instrumentation does not —
+	// the gap Fig. 3 quantifies. 0 disables it.
+	SetupS float64
+	// HostOverheadScale scales the fixed host-side per-step overheads
+	// (1.0 default); ablations use it.
+	HostOverheadScale float64
+	// KeepSeries records every function's per-call time in the report
+	// (per-step timelines for variability analysis).
+	KeepSeries bool
+}
+
+// Defaulted returns the config with defaults filled in.
+func (c Config) Defaulted() Config {
+	if c.Ng == 0 {
+		c.Ng = 150
+	}
+	if c.Steps == 0 {
+		c.Steps = 100
+	}
+	if c.NewStrategy == nil {
+		c.NewStrategy = func() freqctl.Strategy { return freqctl.Baseline{} }
+	}
+	if c.JitterSpread == 0 {
+		c.JitterSpread = 0.015
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HostOverheadScale == 0 {
+		c.HostOverheadScale = 1
+	}
+	return c
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("core: need at least 1 rank, got %d", c.Ranks)
+	}
+	if c.ParticlesPerRank <= 0 {
+		return fmt.Errorf("core: non-positive particles per rank")
+	}
+	switch c.Sim {
+	case Turbulence, Evrard:
+	case Custom:
+		if len(c.CustomPipeline) == 0 {
+			return fmt.Errorf("core: Custom simulation requires a CustomPipeline")
+		}
+	default:
+		return fmt.Errorf("core: unknown simulation %q", c.Sim)
+	}
+	memNeed := c.ParticlesPerRank * particleBytes / 1e9
+	if memNeed > c.System.GPUSpec.MemSizeGB {
+		return fmt.Errorf("core: %g particles/rank need %.0f GB > %s's %.0f GB GPU memory",
+			c.ParticlesPerRank, memNeed, c.System.Name, c.System.GPUSpec.MemSizeGB)
+	}
+	return nil
+}
+
+// particleBytes is the device memory footprint per particle (SoA fields),
+// used to enforce the paper's memory-capacity constraint (§IV-C: miniHPC's
+// 40 GB forced smaller runs, at most 450³ ≈ 91 M particles).
+const particleBytes = 280
+
+// hostOverheads are fixed per-step host-side serial times (seconds) during
+// which the GPU idles: kernel-launch stalls, CPU partitioning work,
+// collective completion. They are what lets the DVFS governor decay clocks
+// at step boundaries (Fig. 9) and what makes small problems insensitive to
+// GPU frequency (Fig. 6).
+var hostOverheads = map[string]float64{
+	FnDomainDecomp:  0.120,
+	FnTimestep:      0.070,
+	FnFindNeighbors: 0.012,
+	FnXMass:         0.006,
+	FnGradh:         0.006,
+	FnEOS:           0.004,
+	FnIAD:           0.008,
+	FnAVSwitches:    0.004,
+	FnMomentum:      0.008,
+	FnUpdate:        0.006,
+	FnGravity:       0.016,
+}
+
+// defaultHostOverheadS applies to custom-pipeline functions without an
+// entry in hostOverheads.
+const defaultHostOverheadS = 0.004
+
+// Result is the outcome of a run.
+type Result struct {
+	Report *instr.Report
+	System *cluster.System
+	// WallTimeS is the time-to-solution of the time-stepping loop.
+	WallTimeS float64
+	// Trace is non-nil when Config.TraceRank was set.
+	Trace *gpusim.Trace
+	// SetupTimeS and SetupEnergyJ cover the pre-loop job phase; only Slurm
+	// accounting sees them (Report covers the instrumented loop only).
+	SetupTimeS   float64
+	SetupEnergyJ float64
+	// StepBoundariesS records the virtual time at the end of each step, for
+	// trace alignment (Fig. 9's 10-step window).
+	StepBoundariesS []float64
+}
+
+// EnergyJ returns total allocation energy.
+func (r *Result) EnergyJ() float64 { return r.Report.TotalEnergyJ }
+
+// GPUEnergyJ returns total GPU energy.
+func (r *Result) GPUEnergyJ() float64 { return r.Report.GPUEnergyJ }
+
+// EDP returns the allocation-level energy-delay product.
+func (r *Result) EDP() float64 { return r.Report.TotalEnergyJ * r.WallTimeS }
+
+// GPUEDP returns the GPU-energy EDP, the per-GPU metric of Figs. 6-8.
+func (r *Result) GPUEDP() float64 { return r.Report.GPUEnergyJ * r.WallTimeS }
+
+// rankCtx is the per-rank execution context.
+type rankCtx struct {
+	node     *cluster.Node
+	dev      *gpusim.Device
+	setter   freqctl.Setter
+	strategy freqctl.Strategy
+	sensor   pmt.Sensor
+	profile  *instr.RankProfile
+}
+
+// Run executes the instrumented time-stepping loop.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.Defaulted()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pipeline := cfg.CustomPipeline
+	if cfg.Sim != Custom {
+		var err error
+		pipeline, err = Pipeline(cfg.Sim)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nodes := cfg.System.NodesForRanks(cfg.Ranks)
+	system := cluster.NewSystem(cfg.System, nodes)
+	net := mpisim.DefaultNetwork(system.RanksPerNode())
+	world := mpisim.NewWorld(cfg.Ranks, net, cfg.Seed)
+
+	ranks := make([]*rankCtx, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		node, dev, err := system.DeviceForRank(r)
+		if err != nil {
+			return nil, err
+		}
+		setter, err := freqctl.SetterFor(dev)
+		if err != nil {
+			return nil, err
+		}
+		rc := &rankCtx{
+			node:     node,
+			dev:      dev,
+			setter:   setter,
+			strategy: cfg.NewStrategy(),
+			profile:  instr.NewRankProfile(r),
+		}
+		rc.profile.SeriesEnabled = cfg.KeepSeries
+		rc.sensor = sensorFor(dev)
+		ranks[r] = rc
+	}
+
+	var trace *gpusim.Trace
+	if cfg.Trace && cfg.TraceRank >= 0 && cfg.TraceRank < cfg.Ranks {
+		trace = ranks[cfg.TraceRank].dev.EnableTrace()
+	}
+
+	// Job setup phase: launch, allocation, host→device transfer. GPUs are
+	// mostly idle (the paper's §IV-A observation that setup energy is
+	// limited because the GPUs idle through it); the host is busy staging.
+	var setupJ, setupGPU, setupCPU, setupMem, setupOther float64
+	if cfg.SetupS > 0 {
+		for r := 0; r < cfg.Ranks; r++ {
+			ranks[r].dev.Idle(cfg.SetupS)
+			world.Advance(r, cfg.SetupS)
+		}
+		for _, n := range system.Nodes {
+			n.AdvanceHost(cfg.SetupS, 0.35, 0.40)
+		}
+		for _, n := range system.Nodes {
+			setupGPU += n.GPUEnergyJ()
+			setupCPU += n.CPUEnergyJ()
+			setupMem += n.Mem.Meter.EnergyJ()
+			setupOther += n.Aux.EnergyJ()
+		}
+		setupJ = setupGPU + setupCPU + setupMem + setupOther
+	}
+
+	// Strategy setup (once per rank, before the loop — the paper's
+	// instrumentation point at time-stepping start).
+	for _, rc := range ranks {
+		if err := rc.strategy.Setup(rc.setter); err != nil {
+			return nil, fmt.Errorf("core: strategy setup: %w", err)
+		}
+	}
+
+	vendor := cfg.System.GPUSpec.Vendor
+	t0 := world.MaxClock()
+	stepBounds := make([]float64, 0, cfg.Steps)
+
+	// Strategy failures inside rank goroutines surface as a run error
+	// rather than a panic; the first one wins.
+	var strategyErr error
+	var strategyErrMu sync.Mutex
+	reportErr := func(err error) {
+		strategyErrMu.Lock()
+		if strategyErr == nil {
+			strategyErr = err
+		}
+		strategyErrMu.Unlock()
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		for _, fn := range pipeline {
+			commS := commTime(fn, cfg, net)
+			hostS, known := hostOverheads[fn.Name]
+			if !known {
+				hostS = defaultHostOverheadS // custom pipelines
+			}
+			hostS *= cfg.HostOverheadScale
+
+			phaseStart := world.MaxClock()
+			gpuStart := make([]pmt.State, cfg.Ranks)
+
+			// Kernel execution on every rank, concurrently.
+			durs := world.Execute(func(r int) float64 {
+				rc := ranks[r]
+				if err := rc.strategy.Apply(rc.setter, fn.Name); err != nil {
+					reportErr(fmt.Errorf("core: strategy apply on rank %d: %w", r, err))
+					return 0
+				}
+				gpuStart[r] = rc.sensor.Read()
+				desc := fn.Kernel(cfg.ParticlesPerRank*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
+				return rc.dev.Execute(desc)
+			})
+			waits := world.Synchronize(durs)
+
+			// Post-kernel phase: barrier wait + communication + host-side
+			// serial work, during which the GPU idles.
+			tail := commS + hostS
+			world.Execute(func(r int) float64 {
+				rc := ranks[r]
+				rc.dev.Idle(waits[r] + tail)
+				return 0
+			})
+			for r := range ranks {
+				world.Advance(r, tail)
+			}
+
+			phaseEnd := world.MaxClock()
+			phaseS := phaseEnd - phaseStart
+
+			// Host energy for the phase, advanced once per node.
+			cpuBefore := make([]float64, len(system.Nodes))
+			memBefore := make([]float64, len(system.Nodes))
+			auxBefore := make([]float64, len(system.Nodes))
+			for i, n := range system.Nodes {
+				cpuBefore[i] = n.CPUEnergyJ()
+				memBefore[i] = n.Mem.Meter.EnergyJ()
+				auxBefore[i] = n.Aux.EnergyJ()
+				n.AdvanceHost(phaseS, fn.CPUUtil, fn.MemUtil)
+			}
+
+			// Per-rank attribution: GPU energy from the rank's own sensor,
+			// host energy as the rank's share of its node's delta.
+			rpn := float64(system.RanksPerNode())
+			for r, rc := range ranks {
+				end := rc.sensor.Read()
+				gpuJ := pmt.Joules(gpuStart[r], end)
+				ni := r / system.RanksPerNode()
+				cpuJ := (system.Nodes[ni].CPUEnergyJ() - cpuBefore[ni]) / rpn
+				memJ := (system.Nodes[ni].Mem.Meter.EnergyJ() - memBefore[ni]) / rpn
+				otherJ := (system.Nodes[ni].Aux.EnergyJ() - auxBefore[ni]) / rpn
+				rc.profile.Record(fn.Name, phaseS, gpuJ, cpuJ, memJ, otherJ, commS)
+			}
+		}
+		stepBounds = append(stepBounds, world.MaxClock())
+		if strategyErr != nil {
+			return nil, strategyErr
+		}
+	}
+
+	wall := world.MaxClock() - t0
+	report := &instr.Report{
+		Simulation: string(cfg.Sim),
+		System:     cfg.System.Name,
+		WallTimeS:  wall,
+		Strategy:   ranks[0].strategy.Name(),
+	}
+	for _, rc := range ranks {
+		report.Ranks = append(report.Ranks, rc.profile)
+	}
+	// Loop-only device-class totals: setup energy is carved out so the
+	// report reflects what PMT instrumentation measured. The setup phase is
+	// GPU-idle, so its energy is attributed to the classes by the setup
+	// power mix.
+	for _, n := range system.Nodes {
+		report.GPUEnergyJ += n.GPUEnergyJ()
+		report.CPUEnergyJ += n.CPUEnergyJ()
+		report.MemEnergyJ += n.Mem.Meter.EnergyJ()
+		report.OtherEnergyJ += n.Aux.EnergyJ()
+	}
+	report.GPUEnergyJ -= setupGPU
+	report.CPUEnergyJ -= setupCPU
+	report.MemEnergyJ -= setupMem
+	report.OtherEnergyJ -= setupOther
+	report.TotalEnergyJ = report.GPUEnergyJ + report.CPUEnergyJ + report.MemEnergyJ + report.OtherEnergyJ
+
+	return &Result{
+		Report:          report,
+		System:          system,
+		WallTimeS:       wall,
+		Trace:           trace,
+		StepBoundariesS: stepBounds,
+		SetupTimeS:      cfg.SetupS,
+		SetupEnergyJ:    setupJ,
+	}, nil
+}
+
+// systemEnergy sums all component meters of the allocation.
+func systemEnergy(s *cluster.System) float64 {
+	total := 0.0
+	for _, n := range s.Nodes {
+		total += n.TotalEnergyJ()
+	}
+	return total
+}
+
+// sensorFor builds the vendor-appropriate PMT GPU sensor for a device —
+// the back-end selection PMT performs at Create() time.
+func sensorFor(dev *gpusim.Device) pmt.Sensor {
+	switch dev.Spec().Vendor {
+	case gpusim.AMD:
+		lib, err := rsmi.New([]*gpusim.Device{dev})
+		if err == nil {
+			return pmt.NewRSMI(lib, 0, dev)
+		}
+	default:
+		lib, err := nvml.New([]*gpusim.Device{dev})
+		if err == nil && lib.Init() == nil {
+			if h, err := lib.DeviceGetHandleByIndex(0); err == nil {
+				return pmt.NewNVML(h)
+			}
+		}
+	}
+	return pmt.Dummy{}
+}
+
+// commTime computes the function's post-kernel communication cost.
+func commTime(fn FuncModel, cfg Config, net mpisim.Network) float64 {
+	if cfg.Ranks <= 1 {
+		// Single-GPU runs still pay a small driver/host sync per collective.
+		if fn.Comm != CommNone {
+			return 50e-6
+		}
+		return 0
+	}
+	n := cfg.ParticlesPerRank
+	switch fn.Comm {
+	case CommHalo:
+		bytes := haloFraction(n, cfg.Ng) * n * fn.CommBytesPerPart * 8
+		return net.HaloExchangeS(bytes, cfg.Ranks)
+	case CommAllreduce:
+		return net.AllreduceS(64, cfg.Ranks)
+	case CommDomainSync:
+		// Tree-count allgather plus particle migration of ~1% of particles.
+		ag := net.AllgatherS(512, cfg.Ranks)
+		migr := net.PointToPointS(0.01*n*fn.CommBytesPerPart*8, false)
+		return ag + migr
+	}
+	return 0
+}
+
+// haloFraction estimates the fraction of local particles that sit in the
+// halo shell: surface-to-volume scaling ~ (ng/N)^(1/3).
+func haloFraction(n float64, ng int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	f := 4.5 * math.Cbrt(float64(ng)) / math.Cbrt(n)
+	if f > 0.3 {
+		f = 0.3
+	}
+	return f
+}

@@ -1,0 +1,183 @@
+package cornerstone
+
+import (
+	"fmt"
+	"math"
+
+	"sphenergy/internal/sfc"
+)
+
+// KeyRange is a half-open SFC key interval assigned to one rank.
+type KeyRange struct {
+	Start, End sfc.Key
+}
+
+// Contains reports whether key k falls in the range.
+func (r KeyRange) Contains(k sfc.Key) bool { return k >= r.Start && k < r.End }
+
+// Partition splits the global tree into numRanks contiguous SFC ranges with
+// approximately equal particle counts. Every range boundary coincides with a
+// leaf boundary of the tree, so ranges are unions of whole octree nodes —
+// exactly the assignment scheme SPH-EXA/Cornerstone uses for domain
+// decomposition.
+func Partition(t Tree, counts []int, numRanks int) []KeyRange {
+	if numRanks < 1 {
+		panic("cornerstone: numRanks must be >= 1")
+	}
+	if len(counts) != t.NumLeaves() {
+		panic("cornerstone: counts length mismatch")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	ranges := make([]KeyRange, numRanks)
+	leaf := 0
+	assigned := 0
+	for r := 0; r < numRanks; r++ {
+		start := t[leaf]
+		// Target cumulative count at the end of this rank.
+		target := (total * (r + 1)) / numRanks
+		for leaf < t.NumLeaves() && (assigned < target || r == numRanks-1) {
+			// The last rank absorbs all remaining leaves.
+			if r < numRanks-1 && assigned+counts[leaf] > target &&
+				// Prefer the closer boundary to the target.
+				assigned+counts[leaf]-target > target-assigned {
+				break
+			}
+			assigned += counts[leaf]
+			leaf++
+		}
+		// Ensure at least one leaf when any remain and ranks still follow.
+		if t[leaf] == start && leaf < t.NumLeaves() && numRanks-r > t.NumLeaves()-leaf {
+			// More ranks than remaining leaves: allow empty range.
+			ranges[r] = KeyRange{Start: start, End: start}
+			continue
+		}
+		ranges[r] = KeyRange{Start: start, End: t[leaf]}
+	}
+	ranges[numRanks-1].End = sfc.KeyEnd
+	// Fix up any empty trailing starts so ranges stay contiguous.
+	for r := 1; r < numRanks; r++ {
+		if ranges[r].Start < ranges[r-1].End {
+			ranges[r].Start = ranges[r-1].End
+		}
+		if ranges[r].End < ranges[r].Start {
+			ranges[r].End = ranges[r].Start
+		}
+	}
+	return ranges
+}
+
+// RankOf returns the rank whose range contains key k.
+func RankOf(ranges []KeyRange, k sfc.Key) int {
+	for i, r := range ranges {
+		if r.Contains(k) {
+			return i
+		}
+	}
+	return len(ranges) - 1
+}
+
+// NodeBounds returns the axis-aligned bounding box of the octree node with
+// the given key range within box b.
+func NodeBounds(b sfc.Box, start, end sfc.Key) (lo, hi [3]float64) {
+	return nodeAABB(b, start, end)
+}
+
+// SphereOverlapsBounds reports whether a sphere (under the box's periodic
+// boundaries) intersects an AABB.
+func SphereOverlapsBounds(b sfc.Box, cx, cy, cz, radius float64, lo, hi [3]float64) bool {
+	return overlaps(b, [3]float64{cx, cy, cz}, [3]float64{cx, cy, cz}, radius, lo, hi)
+}
+
+// nodeAABB returns the axis-aligned bounding box of the octree node with the
+// given key range within box b.
+func nodeAABB(b sfc.Box, start, end sfc.Key) (lo, hi [3]float64) {
+	level := sfc.TreeLevel(end - start)
+	if level < 0 {
+		// Non-aligned range: fall back to the enclosing node.
+		level = sfc.CommonPrefixLevel(start, end-1)
+		start, _ = sfc.NodeRange(start, level)
+	}
+	ix, iy, iz := sfc.Decode3D(start)
+	cells := uint32(1) << uint(sfc.MaxLevel-level) // node edge length in grid cells
+	inv := 1.0 / float64(uint64(1)<<sfc.BitsPerDim)
+	lo[0] = b.Xmin + float64(ix)*inv*b.Lx()
+	lo[1] = b.Ymin + float64(iy)*inv*b.Ly()
+	lo[2] = b.Zmin + float64(iz)*inv*b.Lz()
+	hi[0] = lo[0] + float64(cells)*inv*b.Lx()
+	hi[1] = lo[1] + float64(cells)*inv*b.Ly()
+	hi[2] = lo[2] + float64(cells)*inv*b.Lz()
+	return
+}
+
+// overlaps reports whether two AABBs, the first inflated by radius, overlap,
+// honoring periodic boundaries of the box.
+func overlaps(b sfc.Box, alo, ahi [3]float64, radius float64, blo, bhi [3]float64) bool {
+	period := [3]float64{0, 0, 0}
+	if b.PBCx {
+		period[0] = b.Lx()
+	}
+	if b.PBCy {
+		period[1] = b.Ly()
+	}
+	if b.PBCz {
+		period[2] = b.Lz()
+	}
+	for d := 0; d < 3; d++ {
+		gap := axisGap(alo[d]-radius, ahi[d]+radius, blo[d], bhi[d], period[d])
+		if gap > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// axisGap returns the 1-D separation between intervals [a0,a1] and [b0,b1];
+// <= 0 means they overlap. With a non-zero period the minimum-image distance
+// applies.
+func axisGap(a0, a1, b0, b1, period float64) float64 {
+	gap := math.Max(b0-a1, a0-b1)
+	if period > 0 && gap > 0 {
+		// Try shifting b by ±period.
+		g1 := math.Max(b0+period-a1, a0-(b1+period))
+		g2 := math.Max(b0-period-a1, a0-(b1-period))
+		gap = math.Min(gap, math.Min(g1, g2))
+	}
+	return gap
+}
+
+// Halos identifies, for the rank owning `own`, the leaves of the global tree
+// that lie outside the rank's range but within `radius` (typically 2h) of
+// its boundary. Returned indices refer to leaves of t.
+func Halos(t Tree, b sfc.Box, own KeyRange, radius float64) []int {
+	var halos []int
+	// Collect the AABBs of the rank's own leaves once.
+	type aabb struct{ lo, hi [3]float64 }
+	var ownBoxes []aabb
+	for i := 0; i < t.NumLeaves(); i++ {
+		if own.Contains(t[i]) {
+			lo, hi := nodeAABB(b, t[i], t[i+1])
+			ownBoxes = append(ownBoxes, aabb{lo, hi})
+		}
+	}
+	for i := 0; i < t.NumLeaves(); i++ {
+		if own.Contains(t[i]) {
+			continue
+		}
+		blo, bhi := nodeAABB(b, t[i], t[i+1])
+		for _, ob := range ownBoxes {
+			if overlaps(b, ob.lo, ob.hi, radius, blo, bhi) {
+				halos = append(halos, i)
+				break
+			}
+		}
+	}
+	return halos
+}
+
+// String implements fmt.Stringer for debugging.
+func (r KeyRange) String() string {
+	return fmt.Sprintf("[%d, %d)", r.Start, r.End)
+}

@@ -1,0 +1,145 @@
+package cornerstone
+
+import (
+	"testing"
+
+	"sphenergy/internal/sfc"
+)
+
+func TestPartitionCoversKeySpace(t *testing.T) {
+	keys := randomKeys(8000, 10)
+	tree := Build(keys, 64)
+	counts := tree.NodeCounts(keys)
+	for _, ranks := range []int{1, 2, 4, 7, 16} {
+		ranges := Partition(tree, counts, ranks)
+		if len(ranges) != ranks {
+			t.Fatalf("%d ranks: got %d ranges", ranks, len(ranges))
+		}
+		if ranges[0].Start != 0 {
+			t.Errorf("%d ranks: first range starts at %d", ranks, ranges[0].Start)
+		}
+		if ranges[ranks-1].End != sfc.KeyEnd {
+			t.Errorf("%d ranks: last range ends at %d", ranks, ranges[ranks-1].End)
+		}
+		for i := 1; i < ranks; i++ {
+			if ranges[i].Start != ranges[i-1].End {
+				t.Errorf("%d ranks: gap between range %d and %d", ranks, i-1, i)
+			}
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	keys := randomKeys(20000, 11)
+	tree := Build(keys, 64)
+	counts := tree.NodeCounts(keys)
+	const ranks = 8
+	ranges := Partition(tree, counts, ranks)
+	perRank := make([]int, ranks)
+	for _, k := range keys {
+		perRank[RankOf(ranges, k)]++
+	}
+	want := len(keys) / ranks
+	for r, c := range perRank {
+		if c < want/2 || c > want*2 {
+			t.Errorf("rank %d holds %d particles, want ~%d (poor balance)", r, c, want)
+		}
+	}
+}
+
+func TestPartitionBoundariesAreLeafBoundaries(t *testing.T) {
+	keys := randomKeys(5000, 12)
+	tree := Build(keys, 64)
+	counts := tree.NodeCounts(keys)
+	ranges := Partition(tree, counts, 5)
+	isBoundary := map[sfc.Key]bool{}
+	for _, b := range tree {
+		isBoundary[b] = true
+	}
+	for i, r := range ranges {
+		if !isBoundary[r.Start] || !isBoundary[r.End] {
+			t.Errorf("range %d %v not aligned to leaf boundaries", i, r)
+		}
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	ranges := []KeyRange{{0, 100}, {100, 200}, {200, sfc.KeyEnd}}
+	cases := []struct {
+		k    sfc.Key
+		want int
+	}{{0, 0}, {99, 0}, {100, 1}, {199, 1}, {200, 2}, {sfc.KeyEnd - 1, 2}}
+	for _, c := range cases {
+		if got := RankOf(ranges, c.k); got != c.want {
+			t.Errorf("RankOf(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestHalosAreOutsideOwnRange(t *testing.T) {
+	keys := randomKeys(10000, 13)
+	box := sfc.NewCube(0, 1)
+	tree := Build(keys, 64)
+	counts := tree.NodeCounts(keys)
+	ranges := Partition(tree, counts, 4)
+	own := ranges[1]
+	halos := Halos(tree, box, own, 0.05)
+	if len(halos) == 0 {
+		t.Fatal("expected some halo nodes for an interior rank")
+	}
+	for _, leaf := range halos {
+		if own.Contains(tree[leaf]) {
+			t.Errorf("halo leaf %d is inside the rank's own range", leaf)
+		}
+	}
+}
+
+func TestHalosGrowWithRadius(t *testing.T) {
+	keys := randomKeys(10000, 14)
+	box := sfc.NewCube(0, 1)
+	tree := Build(keys, 64)
+	counts := tree.NodeCounts(keys)
+	ranges := Partition(tree, counts, 4)
+	small := Halos(tree, box, ranges[2], 0.01)
+	large := Halos(tree, box, ranges[2], 0.2)
+	if len(large) < len(small) {
+		t.Errorf("halo set shrank with radius: %d -> %d", len(small), len(large))
+	}
+}
+
+func TestHalosPeriodicWrapAround(t *testing.T) {
+	keys := randomKeys(8000, 15)
+	open := sfc.NewCube(0, 1)
+	periodic := sfc.NewPeriodicCube(0, 1)
+	tree := Build(keys, 64)
+	counts := tree.NodeCounts(keys)
+	ranges := Partition(tree, counts, 8)
+	// The first rank's halos can wrap around to the end of the curve under
+	// periodic boundaries; at minimum they cannot be fewer.
+	ho := Halos(tree, open, ranges[0], 0.04)
+	hp := Halos(tree, periodic, ranges[0], 0.04)
+	if len(hp) < len(ho) {
+		t.Errorf("periodic halos (%d) fewer than open-box halos (%d)", len(hp), len(ho))
+	}
+}
+
+func TestAxisGap(t *testing.T) {
+	// Overlapping intervals -> gap <= 0.
+	if g := axisGap(0, 1, 0.5, 2, 0); g > 0 {
+		t.Errorf("overlap gap = %v", g)
+	}
+	// Disjoint -> positive gap equal to the separation.
+	if g := axisGap(0, 1, 3, 4, 0); g != 2 {
+		t.Errorf("gap = %v, want 2", g)
+	}
+	// Periodic: interval near 0 and interval near period end are close.
+	if g := axisGap(0, 0.1, 9.8, 9.9, 10); g > 0.2 {
+		t.Errorf("periodic gap = %v, want <= 0.2", g)
+	}
+}
+
+func TestKeyRangeString(t *testing.T) {
+	if got := (KeyRange{1, 5}).String(); got != "[1, 5)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,189 @@
+package cornerstone
+
+import (
+	"fmt"
+	"sort"
+
+	"sphenergy/internal/sfc"
+)
+
+// OctreeNode is one node of the fully-linked octree derived from a
+// cornerstone leaf array: leaves plus every internal node up to the root,
+// with parent/child links for top-down traversal (the second structure of
+// the Cornerstone paper, used for tree walks such as MAC evaluation and
+// collision detection).
+type OctreeNode struct {
+	// Start and End delimit the node's SFC key range.
+	Start, End sfc.Key
+	// Level is the octree subdivision depth (0 = root).
+	Level int
+	// Parent indexes the parent node, -1 for the root.
+	Parent int
+	// Children indexes up to eight children; nil for leaves.
+	Children []int
+	// LeafIndex is the node's index in the originating cornerstone array,
+	// or -1 for internal nodes.
+	LeafIndex int
+}
+
+// IsLeaf reports whether the node is a leaf of the cornerstone array.
+func (n OctreeNode) IsLeaf() bool { return n.LeafIndex >= 0 }
+
+// LinkedOctree is the traversable octree over a cornerstone leaf array.
+// Nodes are stored in breadth-first order: Nodes[0] is the root.
+type LinkedOctree struct {
+	Nodes []OctreeNode
+	// Counts holds per-node particle counts when built with counts
+	// (internal nodes aggregate their subtree).
+	Counts []int
+}
+
+// BuildLinked constructs the linked octree from a valid cornerstone tree.
+// counts may be nil; when given it must be the tree's leaf counts and the
+// result carries aggregated per-node counts.
+func BuildLinked(t Tree, counts []int) (*LinkedOctree, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if counts != nil && len(counts) != t.NumLeaves() {
+		return nil, fmt.Errorf("cornerstone: counts length %d != %d leaves", len(counts), t.NumLeaves())
+	}
+	lo := &LinkedOctree{}
+	root := OctreeNode{Start: 0, End: sfc.KeyEnd, Level: 0, Parent: -1, LeafIndex: -1}
+	if t.NumLeaves() == 1 {
+		root.LeafIndex = 0
+	}
+	lo.Nodes = append(lo.Nodes, root)
+
+	// Breadth-first expansion: for each node that is not itself a leaf of
+	// the cornerstone array, find the leaves inside it and group them by
+	// child octant.
+	for i := 0; i < len(lo.Nodes); i++ {
+		n := lo.Nodes[i]
+		if n.IsLeaf() {
+			continue
+		}
+		childSize := (n.End - n.Start) / 8
+		for c := sfc.Key(0); c < 8; c++ {
+			cs := n.Start + c*childSize
+			ce := cs + childSize
+			child := OctreeNode{
+				Start: cs, End: ce, Level: n.Level + 1,
+				Parent: i, LeafIndex: -1,
+			}
+			// A child is a leaf of the cornerstone array iff [cs, ce)
+			// exactly matches one leaf.
+			li := t.FindLeaf(cs)
+			ls, le := t.Leaf(li)
+			if ls == cs && le == ce {
+				child.LeafIndex = li
+			} else if ls == cs && le > ce {
+				// The cornerstone leaf is coarser than this child: the
+				// parent itself should have been that leaf. This cannot
+				// happen for a valid tree.
+				return nil, fmt.Errorf("cornerstone: leaf %d coarser than octree child at key %d", li, cs)
+			}
+			idx := len(lo.Nodes)
+			lo.Nodes = append(lo.Nodes, child)
+			lo.Nodes[i].Children = append(lo.Nodes[i].Children, idx)
+		}
+	}
+
+	if counts != nil {
+		lo.Counts = make([]int, len(lo.Nodes))
+		// Children appear after parents (BFS), so a reverse sweep
+		// aggregates bottom-up.
+		for i := len(lo.Nodes) - 1; i >= 0; i-- {
+			n := lo.Nodes[i]
+			if n.IsLeaf() {
+				lo.Counts[i] = counts[n.LeafIndex]
+			}
+			if n.Parent >= 0 {
+				lo.Counts[n.Parent] += lo.Counts[i]
+			}
+		}
+	}
+	return lo, nil
+}
+
+// NumInternal returns the number of internal (non-leaf) nodes. For a tree
+// whose every internal node has all eight children materialized this is
+// (numLeaves - 1) / 7.
+func (lo *LinkedOctree) NumInternal() int {
+	n := 0
+	for _, node := range lo.Nodes {
+		if !node.IsLeaf() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (lo *LinkedOctree) NumLeaves() int { return len(lo.Nodes) - lo.NumInternal() }
+
+// Walk traverses top-down. visit is called for every reached node; return
+// true to descend into its children. The walk order is deterministic
+// (children in key order).
+func (lo *LinkedOctree) Walk(visit func(idx int, n OctreeNode) bool) {
+	var rec func(i int)
+	rec = func(i int) {
+		n := lo.Nodes[i]
+		if !visit(i, n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if len(lo.Nodes) > 0 {
+		rec(0)
+	}
+}
+
+// Locate descends from the root to the leaf containing key k, returning
+// the node index (O(depth) instead of the leaf array's binary search).
+func (lo *LinkedOctree) Locate(k sfc.Key) int {
+	i := 0
+	for {
+		n := lo.Nodes[i]
+		if n.IsLeaf() || len(n.Children) == 0 {
+			return i
+		}
+		childSize := (n.End - n.Start) / 8
+		c := int((k - n.Start) / childSize)
+		if c > 7 {
+			c = 7
+		}
+		i = n.Children[c]
+	}
+}
+
+// Depth returns the maximum node level.
+func (lo *LinkedOctree) Depth() int {
+	d := 0
+	for _, n := range lo.Nodes {
+		if n.Level > d {
+			d = n.Level
+		}
+	}
+	return d
+}
+
+// LeavesInRange returns the leaf-node indices whose ranges intersect
+// [start, end), using a pruned walk.
+func (lo *LinkedOctree) LeavesInRange(start, end sfc.Key) []int {
+	var out []int
+	lo.Walk(func(idx int, n OctreeNode) bool {
+		if n.End <= start || n.Start >= end {
+			return false
+		}
+		if n.IsLeaf() {
+			out = append(out, idx)
+			return false
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,206 @@
+package cornerstone
+
+import (
+	"testing"
+
+	"sphenergy/internal/sfc"
+)
+
+func linkedFixture(t *testing.T, n int, bucket int, seed uint64) (*LinkedOctree, Tree, []int) {
+	t.Helper()
+	keys := randomKeys(n, seed)
+	tree := Build(keys, bucket)
+	counts := tree.NodeCounts(keys)
+	lo, err := BuildLinked(tree, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo, tree, counts
+}
+
+func TestBuildLinkedRootOnly(t *testing.T) {
+	lo, err := BuildLinked(MakeRootTree(), []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo.Nodes) != 1 || !lo.Nodes[0].IsLeaf() {
+		t.Fatalf("root-only tree: %+v", lo.Nodes)
+	}
+	if lo.Counts[0] != 5 {
+		t.Errorf("root count %d", lo.Counts[0])
+	}
+}
+
+func TestLinkedStructureInvariants(t *testing.T) {
+	lo, tree, _ := linkedFixture(t, 5000, 64, 1)
+	if lo.Nodes[0].Parent != -1 {
+		t.Error("root has a parent")
+	}
+	leafSeen := map[int]bool{}
+	for i, n := range lo.Nodes {
+		if n.End <= n.Start {
+			t.Fatalf("node %d has empty range", i)
+		}
+		// Children partition the parent's range exactly.
+		if !n.IsLeaf() {
+			if len(n.Children) != 8 {
+				t.Fatalf("internal node %d has %d children", i, len(n.Children))
+			}
+			cursor := n.Start
+			for _, c := range n.Children {
+				ch := lo.Nodes[c]
+				if ch.Start != cursor {
+					t.Fatalf("node %d: child gap at key %d", i, cursor)
+				}
+				if ch.Parent != i {
+					t.Fatalf("child %d has wrong parent", c)
+				}
+				if ch.Level != n.Level+1 {
+					t.Fatalf("child %d wrong level", c)
+				}
+				cursor = ch.End
+			}
+			if cursor != n.End {
+				t.Fatalf("node %d: children do not cover the range", i)
+			}
+		} else {
+			if leafSeen[n.LeafIndex] {
+				t.Fatalf("leaf %d appears twice", n.LeafIndex)
+			}
+			leafSeen[n.LeafIndex] = true
+			ls, le := tree.Leaf(n.LeafIndex)
+			if ls != n.Start || le != n.End {
+				t.Fatalf("leaf node %d range mismatch", i)
+			}
+		}
+	}
+	if len(leafSeen) != tree.NumLeaves() {
+		t.Errorf("linked tree exposes %d leaves, want %d", len(leafSeen), tree.NumLeaves())
+	}
+}
+
+func TestLinkedNodeCountRelation(t *testing.T) {
+	lo, tree, _ := linkedFixture(t, 8000, 32, 2)
+	// Every internal node has exactly 8 children, so
+	// internal = (leaves - 1) / 7 and leaves = tree leaves.
+	leaves := lo.NumLeaves()
+	if leaves != tree.NumLeaves() {
+		t.Errorf("leaves %d != cornerstone %d", leaves, tree.NumLeaves())
+	}
+	if want := (leaves - 1) / 7; lo.NumInternal() != want {
+		t.Errorf("internal nodes %d, want %d", lo.NumInternal(), want)
+	}
+}
+
+func TestLinkedCountsAggregate(t *testing.T) {
+	lo, _, counts := linkedFixture(t, 3000, 64, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if lo.Counts[0] != total {
+		t.Errorf("root count %d, want %d", lo.Counts[0], total)
+	}
+	// Every internal node's count equals the sum of its children's.
+	for i, n := range lo.Nodes {
+		if n.IsLeaf() {
+			continue
+		}
+		sum := 0
+		for _, c := range n.Children {
+			sum += lo.Counts[c]
+		}
+		if sum != lo.Counts[i] {
+			t.Fatalf("node %d count %d != children sum %d", i, lo.Counts[i], sum)
+		}
+	}
+}
+
+func TestLocateMatchesFindLeaf(t *testing.T) {
+	lo, tree, _ := linkedFixture(t, 4000, 64, 4)
+	keys := randomKeys(200, 99)
+	for _, k := range keys {
+		idx := lo.Locate(k)
+		n := lo.Nodes[idx]
+		if !n.IsLeaf() {
+			t.Fatalf("Locate(%d) returned internal node", k)
+		}
+		if n.LeafIndex != tree.FindLeaf(k) {
+			t.Fatalf("Locate(%d) leaf %d, FindLeaf %d", k, n.LeafIndex, tree.FindLeaf(k))
+		}
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	lo, _, _ := linkedFixture(t, 4000, 64, 5)
+	visited := 0
+	lo.Walk(func(idx int, n OctreeNode) bool {
+		visited++
+		return false // never descend
+	})
+	if visited != 1 {
+		t.Errorf("pruned walk visited %d nodes, want 1 (root)", visited)
+	}
+	all := 0
+	lo.Walk(func(int, OctreeNode) bool { all++; return true })
+	if all != len(lo.Nodes) {
+		t.Errorf("full walk visited %d of %d nodes", all, len(lo.Nodes))
+	}
+}
+
+func TestLeavesInRange(t *testing.T) {
+	lo, tree, _ := linkedFixture(t, 4000, 64, 6)
+	// A mid-space window.
+	start := sfc.KeyEnd / 3
+	end := sfc.KeyEnd / 2
+	got := lo.LeavesInRange(start, end)
+	if len(got) == 0 {
+		t.Fatal("no leaves in a wide range")
+	}
+	// Cross-check against a scan of the cornerstone array.
+	want := 0
+	for i := 0; i < tree.NumLeaves(); i++ {
+		ls, le := tree.Leaf(i)
+		if le > start && ls < end {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("LeavesInRange found %d leaves, scan found %d", len(got), want)
+	}
+	for _, idx := range got {
+		n := lo.Nodes[idx]
+		if n.End <= start || n.Start >= end {
+			t.Fatalf("leaf %d outside the window", idx)
+		}
+	}
+}
+
+func TestLinkedDepth(t *testing.T) {
+	shallow, _, _ := linkedFixture(t, 2000, 1000, 7)
+	deep, _, _ := linkedFixture(t, 2000, 8, 7)
+	if deep.Depth() <= shallow.Depth() {
+		t.Errorf("deep %d <= shallow %d", deep.Depth(), shallow.Depth())
+	}
+}
+
+func TestBuildLinkedRejectsInvalidTree(t *testing.T) {
+	if _, err := BuildLinked(Tree{0, 100}, nil); err == nil {
+		t.Error("invalid tree accepted")
+	}
+	tree := Build(randomKeys(100, 8), 16)
+	if _, err := BuildLinked(tree, []int{1}); err == nil {
+		t.Error("wrong counts length accepted")
+	}
+}
+
+func TestBuildLinkedWithoutCounts(t *testing.T) {
+	tree := Build(randomKeys(500, 9), 32)
+	lo, err := BuildLinked(tree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Counts != nil {
+		t.Error("counts allocated without input")
+	}
+}

@@ -1,0 +1,177 @@
+// Package cornerstone implements octree construction on top of
+// space-filling-curve keys in the style of the Cornerstone library used by
+// SPH-EXA (Keller et al., PASC'23).
+//
+// The central data structure is the *cornerstone array*: a sorted slice of
+// Morton keys t[0..n] with t[0] = 0 and t[n] = sfc.KeyEnd, where each
+// consecutive pair (t[i], t[i+1]) delimits one octree leaf. Every leaf is a
+// valid octree node, i.e. its key range is a power of eight and aligned to
+// its size. The tree is built iteratively: leaves holding more particles
+// than the bucket size split into eight children, and sibling octets whose
+// combined count falls below the bucket size merge, until a fixed point is
+// reached.
+package cornerstone
+
+import (
+	"fmt"
+	"sort"
+
+	"sphenergy/internal/sfc"
+)
+
+// Tree is a cornerstone array of leaf boundaries.
+type Tree []sfc.Key
+
+// MakeRootTree returns the minimal tree consisting of the root node only.
+func MakeRootTree() Tree {
+	return Tree{0, sfc.KeyEnd}
+}
+
+// NumLeaves returns the number of leaves in the tree.
+func (t Tree) NumLeaves() int { return len(t) - 1 }
+
+// Leaf returns the key range [start, end) of leaf i.
+func (t Tree) Leaf(i int) (sfc.Key, sfc.Key) { return t[i], t[i+1] }
+
+// LeafLevel returns the octree level of leaf i.
+func (t Tree) LeafLevel(i int) int {
+	return sfc.TreeLevel(t[i+1] - t[i])
+}
+
+// Validate checks the cornerstone invariants: full coverage of the key
+// space, strictly increasing boundaries, and power-of-eight aligned leaves.
+func (t Tree) Validate() error {
+	if len(t) < 2 {
+		return fmt.Errorf("cornerstone: tree has %d boundaries, need >= 2", len(t))
+	}
+	if t[0] != 0 {
+		return fmt.Errorf("cornerstone: tree does not start at key 0")
+	}
+	if t[len(t)-1] != sfc.KeyEnd {
+		return fmt.Errorf("cornerstone: tree does not end at KeyEnd")
+	}
+	for i := 0; i+1 < len(t); i++ {
+		if t[i] >= t[i+1] {
+			return fmt.Errorf("cornerstone: non-increasing boundary at leaf %d", i)
+		}
+		size := t[i+1] - t[i]
+		level := sfc.TreeLevel(size)
+		if level < 0 {
+			return fmt.Errorf("cornerstone: leaf %d size %d is not a power of eight", i, size)
+		}
+		if t[i]%size != 0 {
+			return fmt.Errorf("cornerstone: leaf %d start %d misaligned for size %d", i, t[i], size)
+		}
+	}
+	return nil
+}
+
+// NodeCounts returns, for each leaf, the number of particle keys that fall
+// inside it. keys must be sorted ascending.
+func (t Tree) NodeCounts(keys []sfc.Key) []int {
+	counts := make([]int, t.NumLeaves())
+	for i := range counts {
+		lo := sort.Search(len(keys), func(j int) bool { return keys[j] >= t[i] })
+		hi := sort.Search(len(keys), func(j int) bool { return keys[j] >= t[i+1] })
+		counts[i] = hi - lo
+	}
+	return counts
+}
+
+// Rebalance performs one split/merge pass. Leaves with count > bucketSize
+// split into eight children (until the maximum level); complete sibling
+// octets whose total count <= bucketSize merge into their parent. It returns
+// the new tree and whether the tree was already converged (unchanged).
+func (t Tree) Rebalance(counts []int, bucketSize int) (Tree, bool) {
+	if len(counts) != t.NumLeaves() {
+		panic("cornerstone: counts length mismatch")
+	}
+	newTree := make(Tree, 0, len(t))
+	converged := true
+	for i := 0; i < t.NumLeaves(); {
+		start, end := t.Leaf(i)
+		size := end - start
+		level := sfc.TreeLevel(size)
+		switch {
+		case counts[i] > bucketSize && level < sfc.MaxLevel:
+			// Split into eight children.
+			child := size / 8
+			for c := sfc.Key(0); c < 8; c++ {
+				newTree = append(newTree, start+c*child)
+			}
+			converged = false
+			i++
+		case canMergeOctet(t, counts, i, bucketSize):
+			// Merge the octet starting at i into the parent node.
+			newTree = append(newTree, start)
+			converged = false
+			i += 8
+		default:
+			newTree = append(newTree, start)
+			i++
+		}
+	}
+	newTree = append(newTree, sfc.KeyEnd)
+	return newTree, converged
+}
+
+// canMergeOctet reports whether leaves [i, i+8) form a complete sibling
+// octet whose combined count allows merging.
+func canMergeOctet(t Tree, counts []int, i, bucketSize int) bool {
+	if i+8 > t.NumLeaves() {
+		return false
+	}
+	start, _ := t.Leaf(i)
+	size := t[i+1] - t[i]
+	// All eight siblings must exist with equal size and the parent range must
+	// be aligned.
+	parentSize := size * 8
+	if sfc.TreeLevel(size) <= 0 || start%parentSize != 0 {
+		return false
+	}
+	total := 0
+	for c := 0; c < 8; c++ {
+		if t[i+c+1]-t[i+c] != size {
+			return false
+		}
+		total += counts[i+c]
+	}
+	return total <= bucketSize
+}
+
+// Build constructs a converged cornerstone tree for the given sorted
+// particle keys and bucket size. The iteration count is bounded by the
+// maximum tree depth plus a safety margin.
+func Build(keys []sfc.Key, bucketSize int) Tree {
+	if bucketSize < 1 {
+		panic("cornerstone: bucketSize must be >= 1")
+	}
+	t := MakeRootTree()
+	for iter := 0; iter < sfc.MaxLevel+8; iter++ {
+		counts := t.NodeCounts(keys)
+		next, converged := t.Rebalance(counts, bucketSize)
+		t = next
+		if converged {
+			break
+		}
+	}
+	return t
+}
+
+// FindLeaf returns the index of the leaf containing key k.
+func (t Tree) FindLeaf(k sfc.Key) int {
+	// Upper bound, then step back: t[i] <= k < t[i+1].
+	i := sort.Search(len(t), func(j int) bool { return t[j] > k })
+	return i - 1
+}
+
+// MaxDepth returns the deepest leaf level present in the tree.
+func (t Tree) MaxDepth() int {
+	d := 0
+	for i := 0; i < t.NumLeaves(); i++ {
+		if l := t.LeafLevel(i); l > d {
+			d = l
+		}
+	}
+	return d
+}

@@ -1,0 +1,192 @@
+package cornerstone
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sphenergy/internal/rng"
+	"sphenergy/internal/sfc"
+)
+
+// randomKeys generates n sorted keys, clustered to force deep subdivision.
+func randomKeys(n int, seed uint64) []sfc.Key {
+	r := rng.New(seed)
+	box := sfc.NewCube(0, 1)
+	keys := make([]sfc.Key, n)
+	for i := range keys {
+		// Half the points cluster in one corner for an uneven tree.
+		if i%2 == 0 {
+			keys[i] = box.KeyOf(r.Float64(), r.Float64(), r.Float64())
+		} else {
+			keys[i] = box.KeyOf(0.1*r.Float64(), 0.1*r.Float64(), 0.1*r.Float64())
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func TestMakeRootTree(t *testing.T) {
+	root := MakeRootTree()
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if root.NumLeaves() != 1 {
+		t.Errorf("root tree has %d leaves", root.NumLeaves())
+	}
+	if root.LeafLevel(0) != 0 {
+		t.Errorf("root leaf level = %d", root.LeafLevel(0))
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	keys := randomKeys(5000, 1)
+	tree := Build(keys, 64)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := tree.NodeCounts(keys)
+	total := 0
+	for i, c := range counts {
+		total += c
+		if c > 64 && tree.LeafLevel(i) < sfc.MaxLevel {
+			t.Errorf("leaf %d holds %d > bucket size without being at max level", i, c)
+		}
+	}
+	if total != len(keys) {
+		t.Errorf("counts sum to %d, want %d", total, len(keys))
+	}
+}
+
+func TestBuildConverged(t *testing.T) {
+	keys := randomKeys(2000, 2)
+	tree := Build(keys, 32)
+	counts := tree.NodeCounts(keys)
+	next, converged := tree.Rebalance(counts, 32)
+	if !converged {
+		t.Error("Build result was not a fixed point of Rebalance")
+	}
+	if len(next) != len(tree) {
+		t.Error("converged rebalance changed the tree size")
+	}
+}
+
+func TestBuildEmptyAndSmall(t *testing.T) {
+	tree := Build(nil, 16)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumLeaves() != 1 {
+		t.Errorf("empty input should keep the root tree, got %d leaves", tree.NumLeaves())
+	}
+	one := Build([]sfc.Key{12345}, 16)
+	if err := one.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceSplitsOverfullLeaf(t *testing.T) {
+	tree := MakeRootTree()
+	next, converged := tree.Rebalance([]int{100}, 10)
+	if converged {
+		t.Error("overfull root should split")
+	}
+	if next.NumLeaves() != 8 {
+		t.Errorf("root split into %d leaves, want 8", next.NumLeaves())
+	}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceMergesEmptyOctet(t *testing.T) {
+	tree := MakeRootTree()
+	tree, _ = tree.Rebalance([]int{100}, 10)
+	// All children nearly empty: should merge back.
+	merged, converged := tree.Rebalance(make([]int, 8), 10)
+	if converged {
+		t.Error("empty octet should merge")
+	}
+	if merged.NumLeaves() != 1 {
+		t.Errorf("merged tree has %d leaves, want 1", merged.NumLeaves())
+	}
+}
+
+func TestFindLeaf(t *testing.T) {
+	keys := randomKeys(3000, 3)
+	tree := Build(keys, 64)
+	for _, k := range []sfc.Key{0, keys[100], keys[2999], sfc.KeyEnd - 1} {
+		i := tree.FindLeaf(k)
+		if i < 0 || i >= tree.NumLeaves() {
+			t.Fatalf("FindLeaf(%d) = %d out of range", k, i)
+		}
+		lo, hi := tree.Leaf(i)
+		if k < lo || k >= hi {
+			t.Errorf("key %d not inside leaf %d [%d, %d)", k, i, lo, hi)
+		}
+	}
+}
+
+func TestNodeCountsBinarySearchAgainstBruteForce(t *testing.T) {
+	keys := randomKeys(1000, 4)
+	tree := Build(keys, 100)
+	counts := tree.NodeCounts(keys)
+	for i := 0; i < tree.NumLeaves(); i++ {
+		lo, hi := tree.Leaf(i)
+		want := 0
+		for _, k := range keys {
+			if k >= lo && k < hi {
+				want++
+			}
+		}
+		if counts[i] != want {
+			t.Fatalf("leaf %d count = %d, want %d", i, counts[i], want)
+		}
+	}
+}
+
+func TestBuildPropertyQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, bucketRaw uint8) bool {
+		n := int(nRaw%2000) + 1
+		bucket := int(bucketRaw%100) + 1
+		keys := randomKeys(n, seed)
+		tree := Build(keys, bucket)
+		if tree.Validate() != nil {
+			return false
+		}
+		counts := tree.NodeCounts(keys)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadTrees(t *testing.T) {
+	bad := []Tree{
+		{0},                         // too short
+		{1, sfc.KeyEnd},             // does not start at 0
+		{0, 100},                    // does not end at KeyEnd
+		{0, 3, sfc.KeyEnd},          // size 3 not power of eight
+		{0, sfc.KeyEnd, sfc.KeyEnd}, // non-increasing
+	}
+	for i, tree := range bad {
+		if tree.Validate() == nil {
+			t.Errorf("bad tree %d passed validation", i)
+		}
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	keys := randomKeys(4000, 5)
+	shallow := Build(keys, 1000)
+	deep := Build(keys, 8)
+	if deep.MaxDepth() <= shallow.MaxDepth() {
+		t.Errorf("smaller buckets should deepen the tree: %d vs %d",
+			deep.MaxDepth(), shallow.MaxDepth())
+	}
+}

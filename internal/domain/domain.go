@@ -1,0 +1,209 @@
+// Package domain implements the distributed-domain layer of the SPH solver:
+// the DomainDecompAndSync step that the paper instruments. It combines the
+// cornerstone octree with SFC partitioning to (1) keep every rank's
+// particles sorted along the space-filling curve, (2) migrate particles
+// whose keys left the rank's assignment, and (3) assemble halo copies of
+// remote particles within the interaction radius.
+//
+// The implementation is an in-process multi-rank driver (ranks exchange
+// slices directly); the communication volumes it produces are what the
+// energy model's CommDomainSync/CommHalo costs represent.
+package domain
+
+import (
+	"fmt"
+	"sort"
+
+	"sphenergy/internal/cornerstone"
+	"sphenergy/internal/sfc"
+	"sphenergy/internal/sph"
+)
+
+// Domain is the decomposition state shared by all ranks of a run.
+type Domain struct {
+	Box        sfc.Box
+	NumRanks   int
+	BucketSize int
+
+	Tree   cornerstone.Tree
+	Counts []int
+	Ranges []cornerstone.KeyRange
+}
+
+// New creates a domain decomposition driver.
+func New(box sfc.Box, numRanks, bucketSize int) *Domain {
+	if numRanks < 1 {
+		panic("domain: numRanks must be >= 1")
+	}
+	if bucketSize < 1 {
+		bucketSize = 64
+	}
+	return &Domain{Box: box, NumRanks: numRanks, BucketSize: bucketSize}
+}
+
+// computeKeys fills p.Keys from current positions.
+func (d *Domain) computeKeys(p *sph.Particles) {
+	for i := 0; i < p.N; i++ {
+		p.Keys[i] = d.Box.KeyOf(p.X[i], p.Y[i], p.Z[i])
+	}
+}
+
+// SortByKey orders a rank's particles along the SFC — the data layout both
+// the GPU kernels and the tree build rely on.
+func (d *Domain) SortByKey(p *sph.Particles) {
+	d.computeKeys(p)
+	perm := make([]int, p.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return p.Keys[perm[a]] < p.Keys[perm[b]] })
+	p.Reorder(perm)
+}
+
+// Decompose rebuilds the global tree and rank assignment from all ranks'
+// (sorted) keys. In a real MPI run the counts come from an allreduce; here
+// the per-rank key slices are combined directly.
+func (d *Domain) Decompose(ranks []*sph.Particles) {
+	var all []sfc.Key
+	for _, p := range ranks {
+		all = append(all, p.Keys[:p.N]...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	d.Tree = cornerstone.Build(all, d.BucketSize)
+	d.Counts = d.Tree.NodeCounts(all)
+	d.Ranges = cornerstone.Partition(d.Tree, d.Counts, d.NumRanks)
+}
+
+// Migrate moves particles to the ranks that own their keys, returning the
+// new per-rank particle sets and the number of particles that moved (the
+// CommDomainSync volume).
+func (d *Domain) Migrate(ranks []*sph.Particles) ([]*sph.Particles, int, error) {
+	if len(ranks) != d.NumRanks {
+		return nil, 0, fmt.Errorf("domain: %d particle sets for %d ranks", len(ranks), d.NumRanks)
+	}
+	if d.Ranges == nil {
+		return nil, 0, fmt.Errorf("domain: Decompose must run before Migrate")
+	}
+	// Collect per-destination index lists.
+	type src struct {
+		rank, idx int
+	}
+	dest := make([][]src, d.NumRanks)
+	moved := 0
+	for r, p := range ranks {
+		for i := 0; i < p.N; i++ {
+			to := cornerstone.RankOf(d.Ranges, p.Keys[i])
+			dest[to] = append(dest[to], src{r, i})
+			if to != r {
+				moved++
+			}
+		}
+	}
+	out := make([]*sph.Particles, d.NumRanks)
+	for r := range out {
+		np := sph.NewParticles(len(dest[r]))
+		for j, s := range dest[r] {
+			copyParticle(np, j, ranks[s.rank], s.idx)
+		}
+		out[r] = np
+	}
+	return out, moved, nil
+}
+
+// HaloExchange assembles, for rank r, a particle set extended with halo
+// copies of remote particles within `radius` of r's domain. Returned halo
+// indices start at ranks[r].N.
+func (d *Domain) HaloExchange(ranks []*sph.Particles, r int, radius float64) (*sph.Particles, int, error) {
+	if d.Ranges == nil {
+		return nil, 0, fmt.Errorf("domain: Decompose must run before HaloExchange")
+	}
+	haloLeaves := cornerstone.Halos(d.Tree, d.Box, d.Ranges[r], radius)
+	// Key ranges of halo leaves, merged for binary search.
+	type kr struct{ lo, hi sfc.Key }
+	var wanted []kr
+	for _, leaf := range haloLeaves {
+		lo, hi := d.Tree.Leaf(leaf)
+		wanted = append(wanted, kr{lo, hi})
+	}
+	inHalo := func(k sfc.Key) bool {
+		i := sort.Search(len(wanted), func(j int) bool { return wanted[j].hi > k })
+		return i < len(wanted) && k >= wanted[i].lo
+	}
+	// Count halo particles on other ranks.
+	var haloSrc []struct{ rank, idx int }
+	for or, p := range ranks {
+		if or == r {
+			continue
+		}
+		for i := 0; i < p.N; i++ {
+			if inHalo(p.Keys[i]) {
+				haloSrc = append(haloSrc, struct{ rank, idx int }{or, i})
+			}
+		}
+	}
+	own := ranks[r]
+	ext := sph.NewParticles(own.N + len(haloSrc))
+	for i := 0; i < own.N; i++ {
+		copyParticle(ext, i, own, i)
+	}
+	for j, s := range haloSrc {
+		copyParticle(ext, own.N+j, ranks[s.rank], s.idx)
+	}
+	return ext, len(haloSrc), nil
+}
+
+// Sync is the full DomainDecompAndSync step: sort every rank by key,
+// rebuild the decomposition, and migrate particles. It returns the new
+// particle sets and migration count.
+func (d *Domain) Sync(ranks []*sph.Particles) ([]*sph.Particles, int, error) {
+	for _, p := range ranks {
+		d.SortByKey(p)
+	}
+	d.Decompose(ranks)
+	out, moved, err := d.Migrate(ranks)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Keep each rank's set sorted after migration.
+	for _, p := range out {
+		d.SortByKey(p)
+	}
+	return out, moved, nil
+}
+
+// LoadImbalance returns max/mean particle count across ranks (1.0 is
+// perfect balance).
+func LoadImbalance(ranks []*sph.Particles) float64 {
+	if len(ranks) == 0 {
+		return 1
+	}
+	total, max := 0, 0
+	for _, p := range ranks {
+		total += p.N
+		if p.N > max {
+			max = p.N
+		}
+	}
+	mean := float64(total) / float64(len(ranks))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// copyParticle copies every per-particle field from src[j] to dst[i].
+func copyParticle(dst *sph.Particles, i int, src *sph.Particles, j int) {
+	dst.X[i], dst.Y[i], dst.Z[i] = src.X[j], src.Y[j], src.Z[j]
+	dst.VX[i], dst.VY[i], dst.VZ[i] = src.VX[j], src.VY[j], src.VZ[j]
+	dst.AX[i], dst.AY[i], dst.AZ[i] = src.AX[j], src.AY[j], src.AZ[j]
+	dst.M[i], dst.H[i] = src.M[j], src.H[j]
+	dst.Rho[i], dst.P[i], dst.C[i] = src.Rho[j], src.P[j], src.C[j]
+	dst.U[i], dst.DU[i] = src.U[j], src.DU[j]
+	dst.XM[i], dst.Kx[i], dst.Gradh[i] = src.XM[j], src.Kx[j], src.Gradh[j]
+	dst.C11[i], dst.C12[i], dst.C13[i] = src.C11[j], src.C12[j], src.C13[j]
+	dst.C22[i], dst.C23[i], dst.C33[i] = src.C22[j], src.C23[j], src.C33[j]
+	dst.DivV[i], dst.CurlV[i] = src.DivV[j], src.CurlV[j]
+	dst.Alpha[i] = src.Alpha[j]
+	dst.NC[i] = src.NC[j]
+	dst.Keys[i] = src.Keys[j]
+}

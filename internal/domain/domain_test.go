@@ -1,0 +1,230 @@
+package domain
+
+import (
+	"math"
+	"testing"
+
+	"sphenergy/internal/rng"
+	"sphenergy/internal/sfc"
+	"sphenergy/internal/sph"
+)
+
+// scatter builds numRanks particle sets with positions initially assigned
+// round-robin (i.e., in the wrong domains).
+func scatter(numRanks, perRank int, seed uint64) (sfc.Box, []*sph.Particles) {
+	box := sfc.NewPeriodicCube(0, 1)
+	r := rng.New(seed)
+	ranks := make([]*sph.Particles, numRanks)
+	for i := range ranks {
+		p := sph.NewParticles(perRank)
+		for j := 0; j < perRank; j++ {
+			p.X[j] = r.Float64()
+			p.Y[j] = r.Float64()
+			p.Z[j] = r.Float64()
+			p.M[j] = 1
+			p.H[j] = 0.05
+			p.U[j] = 1
+		}
+		ranks[i] = p
+	}
+	return box, ranks
+}
+
+func TestSortByKeyOrdersKeys(t *testing.T) {
+	box, ranks := scatter(1, 500, 1)
+	d := New(box, 1, 32)
+	d.SortByKey(ranks[0])
+	p := ranks[0]
+	for i := 1; i < p.N; i++ {
+		if p.Keys[i] < p.Keys[i-1] {
+			t.Fatalf("keys not sorted at %d", i)
+		}
+	}
+	// Keys match recomputed keys from positions (fields moved together).
+	for i := 0; i < p.N; i++ {
+		if p.Keys[i] != box.KeyOf(p.X[i], p.Y[i], p.Z[i]) {
+			t.Fatalf("key/position mismatch at %d (Reorder broke field consistency)", i)
+		}
+	}
+}
+
+func TestSyncConservesParticles(t *testing.T) {
+	box, ranks := scatter(4, 300, 2)
+	d := New(box, 4, 32)
+	out, moved, err := d.Sync(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range out {
+		total += p.N
+	}
+	if total != 4*300 {
+		t.Fatalf("particle count changed: %d", total)
+	}
+	if moved == 0 {
+		t.Error("round-robin placement should force migration")
+	}
+	// Total mass conserved.
+	mass := 0.0
+	for _, p := range out {
+		for i := 0; i < p.N; i++ {
+			mass += p.M[i]
+		}
+	}
+	if math.Abs(mass-1200) > 1e-9 {
+		t.Errorf("mass %v, want 1200", mass)
+	}
+}
+
+func TestSyncPlacesParticlesInOwnedRanges(t *testing.T) {
+	box, ranks := scatter(4, 300, 3)
+	d := New(box, 4, 32)
+	out, _, err := d.Sync(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, p := range out {
+		for i := 0; i < p.N; i++ {
+			if !d.Ranges[r].Contains(p.Keys[i]) {
+				t.Fatalf("rank %d holds foreign particle with key %d", r, p.Keys[i])
+			}
+		}
+	}
+}
+
+func TestSyncBalancesLoad(t *testing.T) {
+	box, ranks := scatter(8, 500, 4)
+	d := New(box, 8, 32)
+	out, _, err := d.Sync(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := LoadImbalance(out); imb > 1.5 {
+		t.Errorf("load imbalance %v after sync, want < 1.5", imb)
+	}
+}
+
+func TestSecondSyncMovesNothing(t *testing.T) {
+	box, ranks := scatter(4, 300, 5)
+	d := New(box, 4, 32)
+	out, _, err := d.Sync(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Particles have not moved, so a second sync migrates few-to-none
+	// (repartitioning may shift a boundary leaf).
+	_, moved, err := d.Sync(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved > 30 {
+		t.Errorf("idempotent sync moved %d particles", moved)
+	}
+}
+
+func TestHaloExchange(t *testing.T) {
+	box, ranks := scatter(4, 500, 6)
+	d := New(box, 4, 64)
+	out, _, err := d.Sync(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const radius = 0.1
+	ext, nHalo, err := d.HaloExchange(out, 1, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nHalo == 0 {
+		t.Fatal("no halo particles for an interior rank")
+	}
+	if ext.N != out[1].N+nHalo {
+		t.Errorf("extended set size %d, want %d", ext.N, out[1].N+nHalo)
+	}
+	// Halo copies are foreign.
+	for i := out[1].N; i < ext.N; i++ {
+		if d.Ranges[1].Contains(ext.Keys[i]) {
+			t.Fatalf("halo particle %d belongs to the rank itself", i)
+		}
+	}
+	// Every foreign particle near the rank's own particles appears in the
+	// halo: cross-check against a brute-force distance test.
+	missing := 0
+	for or, p := range out {
+		if or == 1 {
+			continue
+		}
+		for i := 0; i < p.N; i++ {
+			// Distance from any own particle.
+			near := false
+			for j := 0; j < out[1].N && !near; j++ {
+				dx := wrapDist(p.X[i]-out[1].X[j], 1)
+				dy := wrapDist(p.Y[i]-out[1].Y[j], 1)
+				dz := wrapDist(p.Z[i]-out[1].Z[j], 1)
+				if dx*dx+dy*dy+dz*dz < radius*radius {
+					near = true
+				}
+			}
+			if !near {
+				continue
+			}
+			found := false
+			for k := out[1].N; k < ext.N; k++ {
+				if ext.Keys[k] == p.Keys[i] && ext.X[k] == p.X[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing++
+			}
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d nearby foreign particles missing from the halo", missing)
+	}
+}
+
+func wrapDist(d, l float64) float64 {
+	if d > l/2 {
+		return d - l
+	}
+	if d < -l/2 {
+		return d + l
+	}
+	return d
+}
+
+func TestErrorsBeforeDecompose(t *testing.T) {
+	box, ranks := scatter(2, 10, 7)
+	d := New(box, 2, 32)
+	if _, _, err := d.Migrate(ranks); err == nil {
+		t.Error("Migrate before Decompose accepted")
+	}
+	if _, _, err := d.HaloExchange(ranks, 0, 0.1); err == nil {
+		t.Error("HaloExchange before Decompose accepted")
+	}
+}
+
+func TestMigrateRankCountMismatch(t *testing.T) {
+	box, ranks := scatter(2, 10, 8)
+	d := New(box, 3, 32)
+	for _, p := range ranks {
+		d.SortByKey(p)
+	}
+	d.Decompose(ranks)
+	if _, _, err := d.Migrate(ranks); err == nil {
+		t.Error("mismatched rank count accepted")
+	}
+}
+
+func TestLoadImbalanceMetric(t *testing.T) {
+	if LoadImbalance(nil) != 1 {
+		t.Error("empty imbalance")
+	}
+	a := sph.NewParticles(100)
+	b := sph.NewParticles(300)
+	if got := LoadImbalance([]*sph.Particles{a, b}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("imbalance %v, want 1.5", got)
+	}
+}

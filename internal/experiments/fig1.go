@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fig1Point is one implementation in the energy-vs-runtime landscape.
+type Fig1Point struct {
+	Implementation string
+	TimeToSolution float64 // normalized, CUDA GPU = 1
+	EnergyKWh      float64 // normalized energy to solution
+}
+
+// Fig1Data reproduces the background figure the paper includes from
+// Portegies Zwart (Nature Astronomy 2020): programming-language /
+// implementation efficiency for N-body production codes. This is a
+// background reproduction (the paper itself reprints the figure); the
+// values here are an analytic model of the published landscape — compiled
+// GPU implementations are roughly an order of magnitude more
+// energy-efficient than CPU C++/Fortran, which are orders of magnitude
+// ahead of interpreted Python.
+type Fig1Data struct {
+	Points []Fig1Point
+}
+
+// Fig1 builds the landscape from relative implementation efficiency
+// factors (speed vs a CUDA baseline, and sustained node power).
+func Fig1() *Fig1Data {
+	type impl struct {
+		name     string
+		slowdown float64 // time vs CUDA GPU implementation
+		powerW   float64 // sustained power of the platform used
+	}
+	impls := []impl{
+		{"CUDA (GPU)", 1, 350},
+		{"C++ (multicore)", 8, 280},
+		{"Fortran (multicore)", 9, 280},
+		{"Java", 25, 260},
+		{"Python+numba", 40, 250},
+		{"Python (interpreted)", 900, 240},
+	}
+	d := &Fig1Data{}
+	for _, im := range impls {
+		d.Points = append(d.Points, Fig1Point{
+			Implementation: im.name,
+			TimeToSolution: im.slowdown,
+			EnergyKWh:      im.slowdown * im.powerW / (350), // normalized: CUDA = 1
+		})
+	}
+	sort.Slice(d.Points, func(a, b int) bool { return d.Points[a].TimeToSolution < d.Points[b].TimeToSolution })
+	return d
+}
+
+// Render implements Renderable.
+func (d *Fig1Data) Render() string {
+	var b strings.Builder
+	b.WriteString("FIG. 1 (background) — implementation efficiency vs time to solution\n")
+	b.WriteString("(normalized to the CUDA GPU implementation; model of Portegies Zwart 2020)\n\n")
+	fmt.Fprintf(&b, "%-24s %16s %16s\n", "implementation", "time (rel)", "energy (rel)")
+	for _, p := range d.Points {
+		fmt.Fprintf(&b, "%-24s %16.1f %16.1f\n", p.Implementation, p.TimeToSolution, p.EnergyKWh)
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/report"
+)
+
+// fig45Case is one of the four runs shared by Figs. 4 and 5.
+type fig45Case struct {
+	label string
+	spec  cluster.NodeSpec
+	sim   core.SimKind
+	ppr   float64
+}
+
+func fig45Cases() []fig45Case {
+	return []fig45Case{
+		{"LUMI-Turb", cluster.LUMIG(), core.Turbulence, 150e6},
+		{"LUMI-Evr", cluster.LUMIG(), core.Evrard, 80e6},
+		{"CSCS-A100-Turb", cluster.CSCSA100(), core.Turbulence, 150e6},
+		{"CSCS-A100-Evr", cluster.CSCSA100(), core.Evrard, 80e6},
+	}
+}
+
+func runFig45Case(c fig45Case, scale float64) (*core.Result, error) {
+	return core.Run(core.Config{
+		System:           c.spec,
+		Ranks:            32,
+		Sim:              c.sim,
+		ParticlesPerRank: c.ppr,
+		Steps:            steps(scale),
+	})
+}
+
+// Fig4Data is the per-device energy breakdown of the four 32-rank runs.
+type Fig4Data struct {
+	Breakdowns []report.DeviceBreakdown
+}
+
+// Fig4 measures energy consumption per device class for Subsonic
+// Turbulence and Evrard Collapse on LUMI-G and CSCS-A100 with 32 ranks.
+func Fig4(scale float64) (*Fig4Data, error) {
+	d := &Fig4Data{}
+	for _, c := range fig45Cases() {
+		res, err := runFig45Case(c, scale)
+		if err != nil {
+			return nil, err
+		}
+		d.Breakdowns = append(d.Breakdowns, report.NewDeviceBreakdown(res.Report, c.spec, c.label))
+	}
+	return d, nil
+}
+
+// Render implements Renderable.
+func (d *Fig4Data) Render() string {
+	var b strings.Builder
+	b.WriteString("FIG. 4 — energy breakdown by device (32 ranks, 100 steps at scale 1.0)\n\n")
+	for _, br := range d.Breakdowns {
+		b.WriteString(br.Render())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig5Data is the per-function energy breakdown of the same four runs.
+type Fig5Data struct {
+	Breakdowns []report.FunctionBreakdown
+}
+
+// Fig5 measures per-function energy consumption for the four Fig. 4 runs,
+// the level of detail normally unavailable to system-monitoring users.
+func Fig5(scale float64) (*Fig5Data, error) {
+	d := &Fig5Data{}
+	for _, c := range fig45Cases() {
+		res, err := runFig45Case(c, scale)
+		if err != nil {
+			return nil, err
+		}
+		d.Breakdowns = append(d.Breakdowns, report.NewFunctionBreakdown(res.Report, c.label))
+	}
+	return d, nil
+}
+
+// ShareOf returns the GPU-energy share of a function in a labeled run.
+func (d *Fig5Data) ShareOf(label, fn string) float64 {
+	for _, br := range d.Breakdowns {
+		if br.Label == label {
+			return br.Share(fn)
+		}
+	}
+	return 0
+}
+
+// Render implements Renderable.
+func (d *Fig5Data) Render() string {
+	var b strings.Builder
+	b.WriteString("FIG. 5 — energy breakdown by SPH-EXA function\n\n")
+	for _, br := range d.Breakdowns {
+		b.WriteString(br.Render())
+		b.WriteString("top GPU-energy consumers: " + strings.Join(br.TopConsumers(3), ", ") + "\n\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/report"
+	"sphenergy/internal/tuner"
+)
+
+// Fig7Row is one configuration of the strategy comparison.
+type Fig7Row struct {
+	Name  string
+	TimeS float64
+	GPUJ  float64
+	// Normalized to the 1410 MHz baseline.
+	TimeNorm, EnergyNorm, EDPNorm float64
+}
+
+// Fig7Data compares time-to-solution, energy and EDP of the baseline,
+// static down-scaling, hardware DVFS, and ManDyn (the paper's per-function
+// dynamic frequency setting) for Subsonic Turbulence at 450³ particles on a
+// single A100.
+type Fig7Data struct {
+	Rows []Fig7Row
+	// ManDynTable is the tuned per-function frequency table used (from the
+	// Fig. 2 tuning pass).
+	ManDynTable map[string]int
+}
+
+// Fig7 runs the strategy comparison. The ManDyn table comes from the same
+// KernelTuner-style pass that generates Fig. 2 — the paper's workflow.
+func Fig7(scale float64) (*Fig7Data, error) {
+	tuned, err := Fig2(scale)
+	if err != nil {
+		return nil, err
+	}
+	table := tuned.Table()
+	d := &Fig7Data{ManDynTable: table}
+
+	type cfg struct {
+		name string
+		mk   func() freqctl.Strategy
+	}
+	var cfgs []cfg
+	cfgs = append(cfgs, cfg{"baseline-1410", func() freqctl.Strategy { return freqctl.Baseline{} }})
+	for _, mhz := range []int{1380, 1335, 1275, 1230, 1170, 1110, 1050, 1005} {
+		mhz := mhz
+		cfgs = append(cfgs, cfg{fmt.Sprintf("static-%d", mhz), func() freqctl.Strategy { return freqctl.Static{MHz: mhz} }})
+	}
+	cfgs = append(cfgs, cfg{"dvfs", func() freqctl.Strategy { return freqctl.DVFS{} }})
+	cfgs = append(cfgs, cfg{"mandyn", func() freqctl.Strategy { return &freqctl.ManDyn{Table: table} }})
+
+	nsteps := steps(scale)
+	var baseT, baseE float64
+	for _, c := range cfgs {
+		res, err := core.Run(core.Config{
+			System:           cluster.MiniHPC(),
+			Ranks:            1,
+			Sim:              core.Turbulence,
+			ParticlesPerRank: particles450Cubed,
+			Steps:            nsteps,
+			NewStrategy:      c.mk,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Name: c.name, TimeS: res.WallTimeS, GPUJ: res.GPUEnergyJ()}
+		if c.name == "baseline-1410" {
+			baseT, baseE = row.TimeS, row.GPUJ
+		}
+		row.TimeNorm = row.TimeS / baseT
+		row.EnergyNorm = row.GPUJ / baseE
+		row.EDPNorm = row.TimeNorm * row.EnergyNorm
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// ParetoOptimal returns the names of the strategies on the (time, energy)
+// Pareto front — §IV-D frames dynamic frequency setting as identifying
+// exactly these configurations.
+func (d *Fig7Data) ParetoOptimal() []string {
+	ms := make([]tuner.Measurement, len(d.Rows))
+	for i, r := range d.Rows {
+		ms[i] = tuner.Measurement{MHz: i, TimeS: r.TimeS, EnergyJ: r.GPUJ}
+	}
+	front := tuner.ParetoFront(ms)
+	names := make([]string, len(front))
+	for i, m := range front {
+		names[i] = d.Rows[m.MHz].Name
+	}
+	return names
+}
+
+// Row returns a named configuration's results.
+func (d *Fig7Data) Row(name string) (Fig7Row, bool) {
+	for _, r := range d.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Fig7Row{}, false
+}
+
+// Render implements Renderable.
+func (d *Fig7Data) Render() string {
+	var b strings.Builder
+	b.WriteString("FIG. 7 — time / energy / EDP vs frequency strategy (450^3, single A100, normalized)\n\n")
+	rows := make([]report.Normalized, 0, len(d.Rows))
+	for _, r := range d.Rows {
+		rows = append(rows, report.Normalized{
+			Name: r.Name, TimeRatio: r.TimeNorm, EnergyRatio: r.EnergyNorm, EDPRatio: r.EDPNorm,
+		})
+	}
+	b.WriteString(report.RenderNormalizedTable("", rows))
+	if md, ok := d.Row("mandyn"); ok {
+		fmt.Fprintf(&b, "\nManDyn: %+.2f%% time, %+.2f%% energy, %+.2f%% EDP vs baseline\n",
+			100*(md.TimeNorm-1), 100*(md.EnergyNorm-1), 100*(md.EDPNorm-1))
+	}
+	fmt.Fprintf(&b, "Pareto-optimal configurations (time vs energy): %s\n",
+		strings.Join(d.ParetoOptimal(), ", "))
+	return b.String()
+}

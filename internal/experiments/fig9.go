@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/textplot"
+)
+
+// Fig9Data is the DVFS frequency trace of a 10-time-step Subsonic
+// Turbulence run on a single A100 under governor control (§IV-E).
+type Fig9Data struct {
+	Trace           *gpusim.Trace
+	StepBoundariesS []float64
+	// Per-kernel mean clocks, the quantities the paper reads off the trace.
+	MeanClockMHz map[string]float64
+	MinClockMHz  int
+	MaxClockMHz  int
+}
+
+// Fig9 records the frequencies the DVFS governor sets during 10 time-steps.
+func Fig9(scale float64) (*Fig9Data, error) {
+	res, err := core.Run(core.Config{
+		System:           cluster.MiniHPC(),
+		Ranks:            1,
+		Sim:              core.Turbulence,
+		ParticlesPerRank: particles450Cubed,
+		Steps:            10,
+		NewStrategy:      func() freqctl.Strategy { return freqctl.DVFS{} },
+		Trace:            true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig9Data{
+		Trace:           res.Trace,
+		StepBoundariesS: res.StepBoundariesS,
+		MeanClockMHz:    map[string]float64{},
+	}
+	for _, fn := range core.PipelineFunctionNames(core.Turbulence) {
+		if m, ok := res.Trace.ClockOfKernel(fn); ok {
+			d.MeanClockMHz[fn] = m
+		}
+	}
+	d.MinClockMHz, d.MaxClockMHz = res.Trace.MinMaxClock()
+	return d, nil
+}
+
+// Render implements Renderable.
+func (d *Fig9Data) Render() string {
+	var b strings.Builder
+	b.WriteString("FIG. 9 — DVFS-set device frequencies during 10 time-steps (450^3, single A100)\n\n")
+	pts := d.Trace.Points()
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.TimeS
+		ys[i] = float64(p.ClockMHz)
+	}
+	b.WriteString(textplot.LinePlot("SM clock (MHz) vs time (s)", xs, ys, 90, 14))
+	b.WriteString("\nmean clock while executing each function:\n")
+	for _, fn := range core.PipelineFunctionNames(core.Turbulence) {
+		if m, ok := d.MeanClockMHz[fn]; ok {
+			fmt.Fprintf(&b, "  %-22s %6.0f MHz\n", fn, m)
+		}
+	}
+	fmt.Fprintf(&b, "observed clock range: %d - %d MHz\n", d.MinClockMHz, d.MaxClockMHz)
+	return b.String()
+}

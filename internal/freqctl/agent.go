@@ -1,0 +1,155 @@
+package freqctl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Policy is a site's rules for user-level clock control. The paper's
+// systems normally require superuser privileges for GPU clock changes; the
+// agent grants mediated access within site-configured bounds (the
+// "user-level GPU frequency adjustment" contribution of §I).
+type Policy struct {
+	// MinMHz/MaxMHz bound the clocks users may request. Zero values mean
+	// no bound in that direction.
+	MinMHz, MaxMHz int
+	// AllowReset permits returning devices to governor control.
+	AllowReset bool
+	// AllowedUsers restricts access; empty means any user.
+	AllowedUsers []string
+}
+
+// permits reports whether the policy allows user to set mhz.
+func (p Policy) permits(user string, mhz int) error {
+	if len(p.AllowedUsers) > 0 {
+		ok := false
+		for _, u := range p.AllowedUsers {
+			if u == user {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("freqctl: user %q not authorized for clock control", user)
+		}
+	}
+	if p.MinMHz > 0 && mhz < p.MinMHz {
+		return fmt.Errorf("freqctl: %d MHz below site minimum %d MHz", mhz, p.MinMHz)
+	}
+	if p.MaxMHz > 0 && mhz > p.MaxMHz {
+		return fmt.Errorf("freqctl: %d MHz above site maximum %d MHz", mhz, p.MaxMHz)
+	}
+	return nil
+}
+
+// AuditEntry records one mediated clock operation.
+type AuditEntry struct {
+	User    string
+	Op      string // "set" or "reset"
+	MHz     int    // requested (set only)
+	Applied int    // actually applied (set only)
+	Err     string // non-empty when denied/failed
+}
+
+// Agent is the site daemon that performs privileged clock operations on
+// behalf of unprivileged users, enforcing Policy and keeping an audit log.
+// It is safe for concurrent use (many ranks request clock changes).
+type Agent struct {
+	policy Policy
+	mu     sync.Mutex
+	log    []AuditEntry
+}
+
+// NewAgent creates an agent with the given site policy.
+func NewAgent(policy Policy) *Agent {
+	return &Agent{policy: policy}
+}
+
+// RequestSet asks the agent to lock a device's SM clock for a user.
+func (a *Agent) RequestSet(user string, s Setter, mhz int) (int, error) {
+	entry := AuditEntry{User: user, Op: "set", MHz: mhz}
+	defer a.record(&entry)
+	if err := a.policy.permits(user, mhz); err != nil {
+		entry.Err = err.Error()
+		return 0, err
+	}
+	applied, err := s.SetSMClock(mhz)
+	if err != nil {
+		entry.Err = err.Error()
+		return 0, err
+	}
+	entry.Applied = applied
+	return applied, nil
+}
+
+// RequestReset asks the agent to return a device to governor control.
+func (a *Agent) RequestReset(user string, s Setter) error {
+	entry := AuditEntry{User: user, Op: "reset"}
+	defer a.record(&entry)
+	if !a.policy.AllowReset {
+		err := fmt.Errorf("freqctl: site policy forbids resetting to governor control")
+		entry.Err = err.Error()
+		return err
+	}
+	if len(a.policy.AllowedUsers) > 0 {
+		if err := a.policy.permits(user, a.policy.MinMHz); err != nil {
+			entry.Err = err.Error()
+			return err
+		}
+	}
+	if err := s.ResetClocks(); err != nil {
+		entry.Err = err.Error()
+		return err
+	}
+	return nil
+}
+
+func (a *Agent) record(e *AuditEntry) {
+	a.mu.Lock()
+	a.log = append(a.log, *e)
+	a.mu.Unlock()
+}
+
+// Audit returns a copy of the audit log.
+func (a *Agent) Audit() []AuditEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AuditEntry, len(a.log))
+	copy(out, a.log)
+	return out
+}
+
+// MediatedSetter wraps a Setter so that every operation goes through an
+// agent as a given user — strategies then work unmodified on restricted
+// systems.
+type MediatedSetter struct {
+	Agent *Agent
+	User  string
+	Inner Setter
+}
+
+// SetSMClock implements Setter through the agent.
+func (m MediatedSetter) SetSMClock(mhz int) (int, error) {
+	return m.Agent.RequestSet(m.User, m.Inner, mhz)
+}
+
+// ResetClocks implements Setter through the agent.
+func (m MediatedSetter) ResetClocks() error {
+	return m.Agent.RequestReset(m.User, m.Inner)
+}
+
+// MaxSMClock implements Setter; reads need no mediation.
+func (m MediatedSetter) MaxSMClock() int { return m.Inner.MaxSMClock() }
+
+// SetPowerLimitW implements Setter. Power caps only ever lower consumption,
+// so sites expose them without the clock policy's bounds; the operation is
+// still audited.
+func (m MediatedSetter) SetPowerLimitW(watts float64) error {
+	entry := AuditEntry{User: m.User, Op: "power-limit", MHz: int(watts)}
+	err := m.Inner.SetPowerLimitW(watts)
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	m.Agent.record(&entry)
+	return err
+}

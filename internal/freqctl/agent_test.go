@@ -1,0 +1,134 @@
+package freqctl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+func agentSetter(t *testing.T) (Setter, *gpusim.Device) {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.A100SXM480GB(), 0)
+	s, err := SetterFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+func TestAgentAllowsWithinPolicy(t *testing.T) {
+	s, dev := agentSetter(t)
+	a := NewAgent(Policy{MinMHz: 1005, MaxMHz: 1410, AllowReset: true})
+	applied, err := a.RequestSet("alice", s, 1110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1110 || dev.SMClockMHz() != 1110 {
+		t.Errorf("applied %d, device %d", applied, dev.SMClockMHz())
+	}
+	if err := a.RequestReset("alice", s); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Mode() != gpusim.ModeAuto {
+		t.Error("reset not applied")
+	}
+}
+
+func TestAgentDeniesOutOfRange(t *testing.T) {
+	s, dev := agentSetter(t)
+	a := NewAgent(Policy{MinMHz: 1005, MaxMHz: 1410})
+	if _, err := a.RequestSet("alice", s, 600); err == nil {
+		t.Error("below-minimum clock accepted")
+	}
+	if _, err := a.RequestSet("alice", s, 1500); err == nil {
+		t.Error("above-maximum clock accepted")
+	}
+	if dev.Mode() == gpusim.ModeLocked {
+		t.Error("denied request still changed the device")
+	}
+}
+
+func TestAgentDeniesUnauthorizedUser(t *testing.T) {
+	s, _ := agentSetter(t)
+	a := NewAgent(Policy{AllowedUsers: []string{"alice"}, MinMHz: 1005, MaxMHz: 1410})
+	if _, err := a.RequestSet("mallory", s, 1110); err == nil {
+		t.Error("unauthorized user accepted")
+	}
+	if _, err := a.RequestSet("alice", s, 1110); err != nil {
+		t.Errorf("authorized user denied: %v", err)
+	}
+}
+
+func TestAgentResetPolicy(t *testing.T) {
+	s, _ := agentSetter(t)
+	a := NewAgent(Policy{}) // AllowReset false
+	if err := a.RequestReset("alice", s); err == nil {
+		t.Error("reset allowed against policy")
+	}
+}
+
+func TestAuditLog(t *testing.T) {
+	s, _ := agentSetter(t)
+	a := NewAgent(Policy{MinMHz: 1005, MaxMHz: 1410, AllowReset: true})
+	a.RequestSet("alice", s, 1110)
+	a.RequestSet("alice", s, 400) // denied
+	a.RequestReset("bob", s)
+	log := a.Audit()
+	if len(log) != 3 {
+		t.Fatalf("audit has %d entries", len(log))
+	}
+	if log[0].Op != "set" || log[0].Applied != 1110 || log[0].Err != "" {
+		t.Errorf("entry 0: %+v", log[0])
+	}
+	if log[1].Err == "" || !strings.Contains(log[1].Err, "below site minimum") {
+		t.Errorf("entry 1: %+v", log[1])
+	}
+	if log[2].User != "bob" || log[2].Op != "reset" {
+		t.Errorf("entry 2: %+v", log[2])
+	}
+}
+
+func TestMediatedSetterWithStrategies(t *testing.T) {
+	inner, dev := agentSetter(t)
+	a := NewAgent(Policy{MinMHz: 1005, MaxMHz: 1410, AllowReset: true})
+	med := MediatedSetter{Agent: a, User: "alice", Inner: inner}
+
+	// ManDyn works through the mediated path unmodified.
+	strat := &ManDyn{Table: map[string]int{"XMass": 1005, "MomentumEnergy": 1410}}
+	if err := strat.Setup(med); err != nil {
+		t.Fatal(err)
+	}
+	if err := strat.Apply(med, "XMass"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.SMClockMHz() != 1005 {
+		t.Errorf("mediated clock %d", dev.SMClockMHz())
+	}
+	if len(a.Audit()) < 2 {
+		t.Error("mediated operations not audited")
+	}
+	if med.MaxSMClock() != 1410 {
+		t.Error("MaxSMClock read broken")
+	}
+}
+
+func TestAgentConcurrentAudit(t *testing.T) {
+	s, _ := agentSetter(t)
+	a := NewAgent(Policy{MinMHz: 1005, MaxMHz: 1410})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a.RequestSet("alice", s, 1110)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(a.Audit()) != 800 {
+		t.Errorf("audit entries %d, want 800", len(a.Audit()))
+	}
+}

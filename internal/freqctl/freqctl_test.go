@@ -1,0 +1,257 @@
+package freqctl
+
+import (
+	"strings"
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+func nvidiaSetter(t *testing.T) (Setter, *gpusim.Device) {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.A100SXM480GB(), 0)
+	s, err := SetterFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+func amdSetter(t *testing.T) (Setter, *gpusim.Device) {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.MI250XGCD(), 0)
+	s, err := SetterFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+func TestSetterForBothVendors(t *testing.T) {
+	sN, devN := nvidiaSetter(t)
+	if sN.MaxSMClock() != 1410 {
+		t.Errorf("nvidia max clock %d", sN.MaxSMClock())
+	}
+	applied, err := sN.SetSMClock(1005)
+	if err != nil || applied != 1005 {
+		t.Errorf("nvidia set: %d, %v", applied, err)
+	}
+	if devN.SMClockMHz() != 1005 {
+		t.Error("nvidia device clock not applied")
+	}
+
+	sA, devA := amdSetter(t)
+	if sA.MaxSMClock() != 1700 {
+		t.Errorf("amd max clock %d", sA.MaxSMClock())
+	}
+	applied, err = sA.SetSMClock(1210)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1200 { // snapped to the 50 MHz table
+		t.Errorf("amd applied %d, want 1200", applied)
+	}
+	if devA.SMClockMHz() != 1200 {
+		t.Error("amd device clock not applied")
+	}
+	if err := sA.ResetClocks(); err != nil {
+		t.Fatal(err)
+	}
+	if devA.Mode() != gpusim.ModeAuto {
+		t.Error("amd reset did not restore auto")
+	}
+}
+
+func TestBaselineLocksMax(t *testing.T) {
+	s, dev := nvidiaSetter(t)
+	var strat Strategy = Baseline{}
+	if err := strat.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	if dev.SMClockMHz() != 1410 || dev.Mode() != gpusim.ModeLocked {
+		t.Errorf("baseline: clock %d mode %v", dev.SMClockMHz(), dev.Mode())
+	}
+	if err := strat.Apply(s, "MomentumEnergy"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.SMClockMHz() != 1410 {
+		t.Error("baseline Apply changed the clock")
+	}
+	if strat.Name() != "baseline" {
+		t.Error("name")
+	}
+}
+
+func TestStaticLocksRequested(t *testing.T) {
+	s, dev := nvidiaSetter(t)
+	strat := Static{MHz: 1110}
+	strat.Setup(s)
+	if dev.SMClockMHz() != 1110 {
+		t.Errorf("static clock %d", dev.SMClockMHz())
+	}
+	if strat.Name() != "static-1110" {
+		t.Errorf("name %q", strat.Name())
+	}
+}
+
+func TestDVFSLeavesGovernor(t *testing.T) {
+	s, dev := nvidiaSetter(t)
+	// Lock first, then hand to DVFS.
+	s.SetSMClock(1005)
+	var strat Strategy = DVFS{}
+	strat.Setup(s)
+	if dev.Mode() != gpusim.ModeAuto {
+		t.Error("DVFS strategy left clocks locked")
+	}
+	if strat.Name() != "dvfs" {
+		t.Error("name")
+	}
+}
+
+func TestManDynSwitchesPerFunction(t *testing.T) {
+	s, dev := nvidiaSetter(t)
+	strat := &ManDyn{Table: map[string]int{
+		"MomentumEnergy": 1410,
+		"XMass":          1005,
+	}}
+	if err := strat.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	strat.Apply(s, "XMass")
+	if dev.SMClockMHz() != 1005 {
+		t.Errorf("XMass clock %d", dev.SMClockMHz())
+	}
+	strat.Apply(s, "MomentumEnergy")
+	if dev.SMClockMHz() != 1410 {
+		t.Errorf("MomentumEnergy clock %d", dev.SMClockMHz())
+	}
+	// Unknown function falls back to the default (max when 0).
+	strat.Apply(s, "SomethingNew")
+	if dev.SMClockMHz() != 1410 {
+		t.Errorf("default clock %d", dev.SMClockMHz())
+	}
+}
+
+func TestManDynExplicitDefault(t *testing.T) {
+	s, dev := nvidiaSetter(t)
+	strat := &ManDyn{Table: map[string]int{"XMass": 1005}, Default: 1200}
+	strat.Setup(s)
+	if dev.SMClockMHz() != 1200 {
+		t.Errorf("setup default clock %d, want 1200", dev.SMClockMHz())
+	}
+	strat.Apply(s, "unknown")
+	if dev.SMClockMHz() != 1200 {
+		t.Errorf("apply default clock %d", dev.SMClockMHz())
+	}
+}
+
+// countingSetter wraps a Setter and counts SetSMClock calls.
+type countingSetter struct {
+	Setter
+	calls int
+}
+
+func (c *countingSetter) SetSMClock(mhz int) (int, error) {
+	c.calls++
+	return c.Setter.SetSMClock(mhz)
+}
+
+func TestManDynSuppressesRedundantSets(t *testing.T) {
+	inner, _ := nvidiaSetter(t)
+	s := &countingSetter{Setter: inner}
+	strat := &ManDyn{Table: map[string]int{"a": 1005, "b": 1005, "c": 1410}}
+	strat.Setup(s)
+	base := s.calls
+	strat.Apply(s, "a") // 1410 -> 1005: one call
+	strat.Apply(s, "b") // already 1005: no call
+	strat.Apply(s, "a") // still 1005: no call
+	strat.Apply(s, "c") // 1005 -> 1410: one call
+	if got := s.calls - base; got != 2 {
+		t.Errorf("SetSMClock called %d times, want 2 (redundant switches suppressed)", got)
+	}
+}
+
+func TestManDynString(t *testing.T) {
+	strat := &ManDyn{Table: map[string]int{"b": 2, "a": 1}}
+	s := strat.String()
+	if !strings.Contains(s, "a:1") || !strings.Contains(s, "b:2") {
+		t.Errorf("String() = %q", s)
+	}
+	if strings.Index(s, "a:1") > strings.Index(s, "b:2") {
+		t.Error("table not sorted in String()")
+	}
+}
+
+func TestPowerCapStrategy(t *testing.T) {
+	s, dev := nvidiaSetter(t)
+	strat := PowerCap{Watts: 250}
+	if strat.Name() != "powercap-250" {
+		t.Errorf("name %q", strat.Name())
+	}
+	if err := strat.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Mode() != gpusim.ModeAuto {
+		t.Error("power cap should leave the governor in control")
+	}
+	if dev.PowerLimitW() != 250 {
+		t.Errorf("limit %v", dev.PowerLimitW())
+	}
+	if err := strat.Apply(s, "fn"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetterPowerLimitBothVendors(t *testing.T) {
+	sN, devN := nvidiaSetter(t)
+	if err := sN.SetPowerLimitW(300); err != nil {
+		t.Fatal(err)
+	}
+	if devN.PowerLimitW() != 300 {
+		t.Errorf("nvidia limit %v", devN.PowerLimitW())
+	}
+	if err := sN.SetPowerLimitW(0); err != nil {
+		t.Fatal(err)
+	}
+	if devN.PowerLimitW() != devN.Spec().TDPW {
+		t.Error("nvidia reset failed")
+	}
+
+	sA, devA := amdSetter(t)
+	if err := sA.SetPowerLimitW(200); err != nil {
+		t.Fatal(err)
+	}
+	if devA.PowerLimitW() != 200 {
+		t.Errorf("amd limit %v", devA.PowerLimitW())
+	}
+	if err := sA.SetPowerLimitW(0); err != nil {
+		t.Fatal(err)
+	}
+	if devA.PowerLimitW() != devA.Spec().TDPW {
+		t.Error("amd reset failed")
+	}
+}
+
+func TestMediatedPowerLimitAudited(t *testing.T) {
+	inner, dev := agentSetter(t)
+	a := NewAgent(Policy{MinMHz: 1005, MaxMHz: 1410})
+	med := MediatedSetter{Agent: a, User: "alice", Inner: inner}
+	if err := med.SetPowerLimitW(250); err != nil {
+		t.Fatal(err)
+	}
+	if dev.PowerLimitW() != 250 {
+		t.Error("mediated power limit not applied")
+	}
+	log := a.Audit()
+	if len(log) != 1 || log[0].Op != "power-limit" {
+		t.Errorf("audit %v", log)
+	}
+	// Failed requests are audited too.
+	if err := med.SetPowerLimitW(5); err == nil {
+		t.Error("absurd limit accepted")
+	}
+	log = a.Audit()
+	if len(log) != 2 || log[1].Err == "" {
+		t.Errorf("failed op not audited: %v", log)
+	}
+}

@@ -1,0 +1,121 @@
+package gpusim
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TracePoint is one sample of the device's frequency/power trajectory.
+type TracePoint struct {
+	TimeS    float64
+	ClockMHz int
+	PowerW   float64
+	Kernel   string // kernel or event label, empty for idle samples
+}
+
+// Trace records the frequency and power trajectory of a device, the data
+// behind the paper's Fig. 9 DVFS measurement.
+type Trace struct {
+	mu     sync.Mutex
+	points []TracePoint
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add appends a sample.
+func (t *Trace) Add(p TracePoint) {
+	t.mu.Lock()
+	t.points = append(t.points, p)
+	t.mu.Unlock()
+}
+
+// Points returns a copy of the recorded samples in time order.
+func (t *Trace) Points() []TracePoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TracePoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.points)
+}
+
+// MinMaxClock returns the lowest and highest clocks observed, 0,0 if empty.
+func (t *Trace) MinMaxClock() (min, max int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.points) == 0 {
+		return 0, 0
+	}
+	min, max = t.points[0].ClockMHz, t.points[0].ClockMHz
+	for _, p := range t.points[1:] {
+		if p.ClockMHz < min {
+			min = p.ClockMHz
+		}
+		if p.ClockMHz > max {
+			max = p.ClockMHz
+		}
+	}
+	return
+}
+
+// Window returns the samples with TimeS in [t0, t1).
+func (t *Trace) Window(t0, t1 float64) []TracePoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TracePoint
+	for _, p := range t.points {
+		if p.TimeS >= t0 && p.TimeS < t1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WriteCSV exports the trace as time_s,clock_mhz,power_w,kernel rows — the
+// raw data behind the Fig. 9 plot.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "clock_mhz", "power_w", "kernel"}); err != nil {
+		return err
+	}
+	for _, p := range t.Points() {
+		row := []string{
+			strconv.FormatFloat(p.TimeS, 'g', 10, 64),
+			strconv.Itoa(p.ClockMHz),
+			strconv.FormatFloat(p.PowerW, 'g', 8, 64),
+			p.Kernel,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ClockOfKernel returns the mean clock over samples labeled with the kernel
+// name, and whether any such samples exist.
+func (t *Trace) ClockOfKernel(name string) (float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sum, n := 0.0, 0
+	for _, p := range t.points {
+		if p.Kernel == name {
+			sum += float64(p.ClockMHz)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,272 @@
+// Package gravity implements Barnes–Hut tree gravity with monopole and
+// quadrupole moments and Plummer softening, the self-gravity solver needed
+// by the Evrard collapse workload.
+//
+// The tree is a pointer-based octree built over the particle positions; the
+// multipole acceptance criterion is the classic geometric opening angle
+// s/d < theta. Traversals are independent per target particle and run in
+// parallel.
+package gravity
+
+import (
+	"math"
+
+	"sphenergy/internal/par"
+)
+
+// node is one octree cell.
+type node struct {
+	cx, cy, cz float64 // geometric center
+	half       float64 // half edge length
+	mass       float64
+	mx, my, mz float64 // center of mass
+	// Quadrupole moments (traceless, about the center of mass).
+	qxx, qxy, qxz, qyy, qyz, qzz float64
+
+	children [8]*node
+	leafIdx  []int32 // particle indices for leaves
+}
+
+const leafCap = 16
+
+// Tree is a built gravity octree.
+type Tree struct {
+	root    *node
+	x, y, z []float64
+	m       []float64
+	// Theta is the opening angle; Eps the Plummer softening length; G the
+	// gravitational constant.
+	Theta, Eps, G float64
+}
+
+// Build constructs the octree for the given particles.
+func Build(x, y, z, m []float64, theta, eps, g float64) *Tree {
+	t := &Tree{x: x, y: y, z: z, m: m, Theta: theta, Eps: eps, G: g}
+	if len(x) == 0 {
+		return t
+	}
+	// Bounding cube.
+	minX, maxX := x[0], x[0]
+	minY, maxY := y[0], y[0]
+	minZ, maxZ := z[0], z[0]
+	for i := 1; i < len(x); i++ {
+		minX = math.Min(minX, x[i])
+		maxX = math.Max(maxX, x[i])
+		minY = math.Min(minY, y[i])
+		maxY = math.Max(maxY, y[i])
+		minZ = math.Min(minZ, z[i])
+		maxZ = math.Max(maxZ, z[i])
+	}
+	cx, cy, cz := (minX+maxX)/2, (minY+maxY)/2, (minZ+maxZ)/2
+	half := math.Max(maxX-minX, math.Max(maxY-minY, maxZ-minZ))/2 + 1e-12
+	t.root = &node{cx: cx, cy: cy, cz: cz, half: half}
+	idx := make([]int32, len(x))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.build(t.root, idx, 0)
+	t.computeMoments(t.root)
+	return t
+}
+
+const maxDepth = 48
+
+func (t *Tree) build(n *node, idx []int32, depth int) {
+	if len(idx) <= leafCap || depth >= maxDepth {
+		n.leafIdx = idx
+		return
+	}
+	// Partition indices into octants.
+	var buckets [8][]int32
+	for _, i := range idx {
+		o := 0
+		if t.x[i] >= n.cx {
+			o |= 1
+		}
+		if t.y[i] >= n.cy {
+			o |= 2
+		}
+		if t.z[i] >= n.cz {
+			o |= 4
+		}
+		buckets[o] = append(buckets[o], i)
+	}
+	h := n.half / 2
+	for o, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		dx, dy, dz := -h, -h, -h
+		if o&1 != 0 {
+			dx = h
+		}
+		if o&2 != 0 {
+			dy = h
+		}
+		if o&4 != 0 {
+			dz = h
+		}
+		child := &node{cx: n.cx + dx, cy: n.cy + dy, cz: n.cz + dz, half: h}
+		n.children[o] = child
+		t.build(child, b, depth+1)
+	}
+}
+
+func (t *Tree) computeMoments(n *node) {
+	if n == nil {
+		return
+	}
+	if n.leafIdx != nil {
+		for _, i := range n.leafIdx {
+			m := t.m[i]
+			n.mass += m
+			n.mx += m * t.x[i]
+			n.my += m * t.y[i]
+			n.mz += m * t.z[i]
+		}
+	} else {
+		for _, c := range n.children {
+			if c == nil {
+				continue
+			}
+			t.computeMoments(c)
+			n.mass += c.mass
+			n.mx += c.mass * c.mx
+			n.my += c.mass * c.my
+			n.mz += c.mass * c.mz
+		}
+	}
+	if n.mass > 0 {
+		n.mx /= n.mass
+		n.my /= n.mass
+		n.mz /= n.mass
+	}
+	// Quadrupole about the center of mass.
+	if n.leafIdx != nil {
+		for _, i := range n.leafIdx {
+			t.accumulateQuad(n, t.x[i], t.y[i], t.z[i], t.m[i])
+		}
+	} else {
+		for _, c := range n.children {
+			if c == nil {
+				continue
+			}
+			// Child quadrupole shifted to this node's COM (parallel axis).
+			t.accumulateQuad(n, c.mx, c.my, c.mz, c.mass)
+			n.qxx += c.qxx
+			n.qxy += c.qxy
+			n.qxz += c.qxz
+			n.qyy += c.qyy
+			n.qyz += c.qyz
+			n.qzz += c.qzz
+		}
+	}
+}
+
+func (t *Tree) accumulateQuad(n *node, px, py, pz, m float64) {
+	dx, dy, dz := px-n.mx, py-n.my, pz-n.mz
+	r2 := dx*dx + dy*dy + dz*dz
+	n.qxx += m * (3*dx*dx - r2)
+	n.qyy += m * (3*dy*dy - r2)
+	n.qzz += m * (3*dz*dz - r2)
+	n.qxy += m * 3 * dx * dy
+	n.qxz += m * 3 * dx * dz
+	n.qyz += m * 3 * dy * dz
+}
+
+// AccelerationsInto computes gravitational accelerations and potentials for
+// every particle, adding into ax/ay/az and storing potential (per unit mass)
+// in pot (pot may be nil).
+func (t *Tree) AccelerationsInto(ax, ay, az, pot []float64) {
+	if t.root == nil {
+		return
+	}
+	par.For(len(t.x), func(i int) {
+		gx, gy, gz, p := t.walk(t.root, i)
+		ax[i] += t.G * gx
+		ay[i] += t.G * gy
+		az[i] += t.G * gz
+		if pot != nil {
+			pot[i] = t.G * p
+		}
+	})
+}
+
+// walk traverses the tree for target particle i, returning the
+// un-scaled (G=1) acceleration and potential contributions.
+func (t *Tree) walk(n *node, i int) (gx, gy, gz, pot float64) {
+	dx := n.mx - t.x[i]
+	dy := n.my - t.y[i]
+	dz := n.mz - t.z[i]
+	r2 := dx*dx + dy*dy + dz*dz
+	size := 2 * n.half
+	if n.leafIdx == nil && size*size < t.Theta*t.Theta*r2 {
+		// Accept: monopole + quadrupole.
+		return t.multipole(n, dx, dy, dz, r2)
+	}
+	if n.leafIdx != nil {
+		for _, j := range n.leafIdx {
+			if int(j) == i {
+				continue
+			}
+			ddx := t.x[j] - t.x[i]
+			ddy := t.y[j] - t.y[i]
+			ddz := t.z[j] - t.z[i]
+			rr2 := ddx*ddx + ddy*ddy + ddz*ddz + t.Eps*t.Eps
+			inv := 1 / math.Sqrt(rr2)
+			inv3 := inv * inv * inv
+			m := t.m[j]
+			gx += m * ddx * inv3
+			gy += m * ddy * inv3
+			gz += m * ddz * inv3
+			pot -= m * inv
+		}
+		return
+	}
+	for _, c := range n.children {
+		if c == nil {
+			continue
+		}
+		cgx, cgy, cgz, cp := t.walk(c, i)
+		gx += cgx
+		gy += cgy
+		gz += cgz
+		pot += cp
+	}
+	return
+}
+
+// multipole evaluates the monopole + quadrupole field of node n at relative
+// position (dx, dy, dz) with r² = dx²+dy²+dz².
+func (t *Tree) multipole(n *node, dx, dy, dz, r2 float64) (gx, gy, gz, pot float64) {
+	r2 += t.Eps * t.Eps
+	inv := 1 / math.Sqrt(r2)
+	inv2 := inv * inv
+	inv3 := inv2 * inv
+	inv5 := inv3 * inv2
+	inv7 := inv5 * inv2
+	// Monopole.
+	gx = n.mass * dx * inv3
+	gy = n.mass * dy * inv3
+	gz = n.mass * dz * inv3
+	pot = -n.mass * inv
+	// Quadrupole: phi_Q = -(1/2) * (r·Q·r) / r^5 ... using the traceless Q.
+	qx := n.qxx*dx + n.qxy*dy + n.qxz*dz
+	qy := n.qxy*dx + n.qyy*dy + n.qyz*dz
+	qz := n.qxz*dx + n.qyz*dy + n.qzz*dz
+	rqr := dx*qx + dy*qy + dz*qz
+	pot -= 0.5 * rqr * inv5
+	// grad of phi_Q: dphi/dx = -(Qr)_x / r^5 + (5/2) rqr x / r^7.
+	gx += -qx*inv5 + 2.5*rqr*dx*inv7
+	gy += -qy*inv5 + 2.5*rqr*dy*inv7
+	gz += -qz*inv5 + 2.5*rqr*dz*inv7
+	return
+}
+
+// TotalMass returns the mass accounted at the root (a consistency check).
+func (t *Tree) TotalMass() float64 {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.mass
+}

@@ -1,0 +1,190 @@
+package gravity
+
+import (
+	"math"
+	"testing"
+
+	"sphenergy/internal/rng"
+)
+
+func TestTwoBodyAcceleration(t *testing.T) {
+	x := []float64{0, 1}
+	y := []float64{0, 0}
+	z := []float64{0, 0}
+	m := []float64{2, 3}
+	tree := Build(x, y, z, m, 0.5, 0, 1)
+	ax := make([]float64, 2)
+	ay := make([]float64, 2)
+	az := make([]float64, 2)
+	pot := make([]float64, 2)
+	tree.AccelerationsInto(ax, ay, az, pot)
+	// a0 = G m1 / r^2 toward +x; a1 = G m0 / r^2 toward -x.
+	if math.Abs(ax[0]-3) > 1e-12 {
+		t.Errorf("ax[0] = %v, want 3", ax[0])
+	}
+	if math.Abs(ax[1]+2) > 1e-12 {
+		t.Errorf("ax[1] = %v, want -2", ax[1])
+	}
+	if ay[0] != 0 || az[0] != 0 {
+		t.Error("off-axis acceleration for axial pair")
+	}
+	if math.Abs(pot[0]+3) > 1e-12 || math.Abs(pot[1]+2) > 1e-12 {
+		t.Errorf("potentials = %v, %v; want -3, -2", pot[0], pot[1])
+	}
+}
+
+func TestSofteningBoundsCloseEncounter(t *testing.T) {
+	x := []float64{0, 1e-9}
+	y := []float64{0, 0}
+	z := []float64{0, 0}
+	m := []float64{1, 1}
+	tree := Build(x, y, z, m, 0.5, 0.01, 1)
+	ax := make([]float64, 2)
+	tree.AccelerationsInto(ax, make([]float64, 2), make([]float64, 2), nil)
+	// Softened force is bounded by ~G m / eps^2.
+	if math.Abs(ax[0]) > 1.01/(0.01*0.01) {
+		t.Errorf("softening failed to bound force: %v", ax[0])
+	}
+}
+
+// bruteForce computes direct-sum accelerations for reference.
+func bruteForce(x, y, z, m []float64, eps, g float64) (ax, ay, az []float64) {
+	n := len(x)
+	ax = make([]float64, n)
+	ay = make([]float64, n)
+	az = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx, dy, dz := x[j]-x[i], y[j]-y[i], z[j]-z[i]
+			r2 := dx*dx + dy*dy + dz*dz + eps*eps
+			inv3 := 1 / (r2 * math.Sqrt(r2))
+			ax[i] += g * m[j] * dx * inv3
+			ay[i] += g * m[j] * dy * inv3
+			az[i] += g * m[j] * dz * inv3
+		}
+	}
+	return
+}
+
+func randomCluster(n int, seed uint64) (x, y, z, m []float64) {
+	r := rng.New(seed)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	z = make([]float64, n)
+	m = make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Plummer-ish ball.
+		x[i] = r.Norm() * 0.3
+		y[i] = r.Norm() * 0.3
+		z[i] = r.Norm() * 0.3
+		m[i] = 0.5 + r.Float64()
+	}
+	return
+}
+
+func TestTreeMatchesBruteForce(t *testing.T) {
+	const n = 400
+	x, y, z, m := randomCluster(n, 1)
+	const eps, g = 0.01, 1.0
+	tree := Build(x, y, z, m, 0.4, eps, g)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	tree.AccelerationsInto(ax, ay, az, nil)
+	bx, by, bz := bruteForce(x, y, z, m, eps, g)
+	var errSum, refSum float64
+	for i := 0; i < n; i++ {
+		dx, dy, dz := ax[i]-bx[i], ay[i]-by[i], az[i]-bz[i]
+		errSum += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		refSum += math.Sqrt(bx[i]*bx[i] + by[i]*by[i] + bz[i]*bz[i])
+	}
+	relErr := errSum / refSum
+	if relErr > 0.01 {
+		t.Errorf("mean relative force error %v, want < 1%% at theta=0.4 with quadrupoles", relErr)
+	}
+}
+
+func TestSmallerThetaIsMoreAccurate(t *testing.T) {
+	const n = 300
+	x, y, z, m := randomCluster(n, 2)
+	const eps, g = 0.01, 1.0
+	bx, by, bz := bruteForce(x, y, z, m, eps, g)
+	errAt := func(theta float64) float64 {
+		tree := Build(x, y, z, m, theta, eps, g)
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		az := make([]float64, n)
+		tree.AccelerationsInto(ax, ay, az, nil)
+		var e float64
+		for i := 0; i < n; i++ {
+			dx, dy, dz := ax[i]-bx[i], ay[i]-by[i], az[i]-bz[i]
+			e += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}
+		return e
+	}
+	if errAt(0.3) > errAt(0.9) {
+		t.Error("theta=0.3 less accurate than theta=0.9")
+	}
+}
+
+func TestTotalMass(t *testing.T) {
+	x, y, z, m := randomCluster(500, 3)
+	tree := Build(x, y, z, m, 0.5, 0.01, 1)
+	want := 0.0
+	for _, v := range m {
+		want += v
+	}
+	if math.Abs(tree.TotalMass()-want) > 1e-9*want {
+		t.Errorf("TotalMass = %v, want %v", tree.TotalMass(), want)
+	}
+}
+
+func TestMomentumConservationApprox(t *testing.T) {
+	// Tree forces are not exactly antisymmetric, but the net force on a
+	// self-gravitating cluster must be small relative to the force scale.
+	const n = 300
+	x, y, z, m := randomCluster(n, 4)
+	tree := Build(x, y, z, m, 0.5, 0.01, 1)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	tree.AccelerationsInto(ax, ay, az, nil)
+	var fx, fy, fz, scale float64
+	for i := 0; i < n; i++ {
+		fx += m[i] * ax[i]
+		fy += m[i] * ay[i]
+		fz += m[i] * az[i]
+		scale += m[i] * math.Sqrt(ax[i]*ax[i]+ay[i]*ay[i]+az[i]*az[i])
+	}
+	net := math.Sqrt(fx*fx + fy*fy + fz*fz)
+	if net/scale > 0.01 {
+		t.Errorf("net force fraction %v, want < 1%%", net/scale)
+	}
+}
+
+func TestPotentialIsNegative(t *testing.T) {
+	const n = 200
+	x, y, z, m := randomCluster(n, 5)
+	tree := Build(x, y, z, m, 0.5, 0.01, 1)
+	pot := make([]float64, n)
+	tree.AccelerationsInto(make([]float64, n), make([]float64, n), make([]float64, n), pot)
+	for i, p := range pot {
+		if p >= 0 {
+			t.Fatalf("potential[%d] = %v, want < 0", i, p)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := Build(nil, nil, nil, nil, 0.5, 0.01, 1)
+	empty.AccelerationsInto(nil, nil, nil, nil) // must not panic
+	one := Build([]float64{0}, []float64{0}, []float64{0}, []float64{1}, 0.5, 0.01, 1)
+	ax := make([]float64, 1)
+	one.AccelerationsInto(ax, make([]float64, 1), make([]float64, 1), nil)
+	if ax[0] != 0 {
+		t.Errorf("single particle accelerates itself: %v", ax[0])
+	}
+}

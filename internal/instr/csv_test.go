@@ -1,0 +1,70 @@
+package instr
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundtrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "rank,function,calls") {
+		t.Errorf("header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ranks) != len(r.Ranks) {
+		t.Fatalf("ranks %d, want %d", len(back.Ranks), len(r.Ranks))
+	}
+	for _, fn := range []string{"MomentumEnergy", "XMass"} {
+		a := r.FunctionTotal(fn)
+		b := back.FunctionTotal(fn)
+		if a.Calls != b.Calls {
+			t.Errorf("%s calls %d vs %d", fn, a.Calls, b.Calls)
+		}
+		if math.Abs(a.GPUJ-b.GPUJ) > 1e-9 || math.Abs(a.TimeS-b.TimeS) > 1e-9 {
+			t.Errorf("%s values drifted: %+v vs %+v", fn, a, b)
+		}
+	}
+}
+
+func TestCSVFile(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "report.csv")
+	if err := r.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	bad := "rank,function,calls,time_s,gpu_j,cpu_j,mem_j,other_j,comm_s\nx,fn,1,1,1,1,1,1,1\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric rank accepted")
+	}
+}
+
+func TestCSVRowCount(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	r.WriteCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 2 ranks x 2 functions
+	if len(lines) != 1+4 {
+		t.Errorf("%d lines", len(lines))
+	}
+}

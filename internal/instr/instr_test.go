@@ -1,0 +1,205 @@
+package instr
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := &Report{Simulation: "turbulence", System: "CSCS-A100", WallTimeS: 100, Strategy: "baseline"}
+	for rank := 0; rank < 2; rank++ {
+		p := NewRankProfile(rank)
+		p.Record("MomentumEnergy", 40, 8000, 500, 100, 200, 0.5)
+		p.Record("XMass", 10, 1500, 120, 30, 60, 0.1)
+		p.Record("MomentumEnergy", 42, 8100, 510, 110, 210, 0.6)
+		r.Ranks = append(r.Ranks, p)
+	}
+	r.GPUEnergyJ = 2 * (8000 + 1500 + 8100)
+	r.CPUEnergyJ = 2 * (500 + 120 + 510)
+	r.MemEnergyJ = 2 * (100 + 30 + 110)
+	r.OtherEnergyJ = 2 * (200 + 60 + 210)
+	r.TotalEnergyJ = r.GPUEnergyJ + r.CPUEnergyJ + r.MemEnergyJ + r.OtherEnergyJ
+	return r
+}
+
+func TestRecordAccumulates(t *testing.T) {
+	p := NewRankProfile(0)
+	p.Record("fn", 1, 10, 1, 0.5, 0.2, 0.1)
+	p.Record("fn", 2, 20, 2, 1.0, 0.4, 0.2)
+	st := p.Get("fn")
+	if st.Calls != 2 {
+		t.Errorf("calls = %d", st.Calls)
+	}
+	if st.TimeS != 3 || st.GPUJ != 30 || st.CPUJ != 3 {
+		t.Errorf("accumulation wrong: %+v", st)
+	}
+	if math.Abs(st.TotalJ()-(30+3+1.5+0.6)) > 1e-12 {
+		t.Errorf("TotalJ = %v", st.TotalJ())
+	}
+}
+
+func TestFunctionOrderPreserved(t *testing.T) {
+	p := NewRankProfile(0)
+	for _, fn := range []string{"c", "a", "b"} {
+		p.Record(fn, 1, 0, 0, 0, 0, 0)
+	}
+	names := p.FunctionNames()
+	if names[0] != "c" || names[1] != "a" || names[2] != "b" {
+		t.Errorf("order = %v, want recording order", names)
+	}
+}
+
+func TestRankTotals(t *testing.T) {
+	p := NewRankProfile(0)
+	p.Record("a", 1, 10, 0, 0, 0, 0)
+	p.Record("b", 4, 30, 0, 0, 0, 0)
+	if p.TotalTimeS() != 5 {
+		t.Errorf("TotalTimeS = %v", p.TotalTimeS())
+	}
+	if p.TotalGPUJ() != 40 {
+		t.Errorf("TotalGPUJ = %v", p.TotalGPUJ())
+	}
+}
+
+func TestReportFunctionTotal(t *testing.T) {
+	r := sampleReport()
+	me := r.FunctionTotal("MomentumEnergy")
+	if me.Calls != 4 {
+		t.Errorf("calls = %d, want 4 (2 per rank)", me.Calls)
+	}
+	if math.Abs(me.GPUJ-2*(8000+8100)) > 1e-9 {
+		t.Errorf("GPUJ = %v", me.GPUJ)
+	}
+	missing := r.FunctionTotal("nope")
+	if missing.Calls != 0 {
+		t.Error("missing function should aggregate to zero")
+	}
+}
+
+func TestReportFunctionNamesUnion(t *testing.T) {
+	r := sampleReport()
+	r.Ranks[1].Record("Gravity", 1, 5, 0, 0, 0, 0)
+	names := r.FunctionNames()
+	if names[0] != "MomentumEnergy" || names[1] != "XMass" {
+		t.Errorf("order = %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "Gravity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rank-1-only function missing from union")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	r := sampleReport()
+	if got := r.EDP(); math.Abs(got-r.TotalEnergyJ*100) > 1e-9 {
+		t.Errorf("EDP = %v", got)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Simulation != r.Simulation || back.System != r.System {
+		t.Error("metadata lost")
+	}
+	if len(back.Ranks) != 2 {
+		t.Fatalf("ranks lost: %d", len(back.Ranks))
+	}
+	me := back.FunctionTotal("MomentumEnergy")
+	if math.Abs(me.GPUJ-2*(8000+8100)) > 1e-9 {
+		t.Errorf("roundtrip GPUJ = %v", me.GPUJ)
+	}
+	if math.Abs(back.TotalEnergyJ-r.TotalEnergyJ) > 1e-9 {
+		t.Error("total energy lost")
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WallTimeS != 100 {
+		t.Errorf("wall time = %v", back.WallTimeS)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	p := NewRankProfile(0)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				p.Record("fn", 1, 1, 0, 0, 0, 0)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if st := p.Get("fn"); st.Calls != 8000 {
+		t.Errorf("concurrent calls = %d, want 8000", st.Calls)
+	}
+}
+
+func TestSeriesRecording(t *testing.T) {
+	p := NewRankProfile(0)
+	p.SeriesEnabled = true
+	for _, v := range []float64{1, 2, 3, 2} {
+		p.Record("fn", v, 0, 0, 0, 0, 0)
+	}
+	n, mean, relStd, ok := p.SeriesStats("fn")
+	if !ok || n != 4 {
+		t.Fatalf("series n=%d ok=%v", n, ok)
+	}
+	if math.Abs(mean-2) > 1e-12 {
+		t.Errorf("mean %v", mean)
+	}
+	if relStd <= 0 || relStd > 1 {
+		t.Errorf("relStd %v", relStd)
+	}
+	// Disabled profiles record no series.
+	q := NewRankProfile(1)
+	q.Record("fn", 1, 0, 0, 0, 0, 0)
+	if _, _, _, ok := q.SeriesStats("fn"); ok {
+		t.Error("series recorded while disabled")
+	}
+}
+
+func TestSeriesSurvivesJSON(t *testing.T) {
+	p := NewRankProfile(0)
+	p.SeriesEnabled = true
+	p.Record("fn", 1.5, 0, 0, 0, 0, 0)
+	r := &Report{Ranks: []*RankProfile{p}}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Ranks[0].Series["fn"]; len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("series lost: %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package mpisim models the MPI layer of an SPH-EXA run at the fidelity the
+// energy accounting needs: a set of ranks bound one-to-one to GPU dies,
+// bulk-synchronous execution of the instrumented functions, and an
+// analytic communication cost model (latency/bandwidth with log-scaling
+// collectives) for the halo exchanges and reductions between them.
+//
+// Rank work executes concurrently on goroutines (wall-clock parallelism),
+// while simulated durations live on each rank's virtual clock; barriers
+// synchronize the virtual clocks exactly like MPI collectives synchronize
+// real ranks — slower ranks make faster ones wait.
+package mpisim
+
+import (
+	"math"
+	"sync"
+
+	"sphenergy/internal/rng"
+)
+
+// Network is a latency/bandwidth communication cost model, the familiar
+// alpha-beta (Hockney) model with logarithmic collective scaling.
+type Network struct {
+	// LatencyS is the per-message software+wire latency (alpha).
+	LatencyS float64
+	// BandwidthBs is the per-link bandwidth in bytes/second (1/beta).
+	BandwidthBs float64
+	// RanksPerNode lets intra-node transfers use the faster fabric.
+	RanksPerNode int
+	// IntraNodeFactor scales bandwidth up (and latency down) within a node.
+	IntraNodeFactor float64
+}
+
+// DefaultNetwork returns a Slingshot-class fabric model: 2 µs latency,
+// 24 GB/s effective per-rank bandwidth, 8 ranks per node.
+func DefaultNetwork(ranksPerNode int) Network {
+	return Network{
+		LatencyS:        2e-6,
+		BandwidthBs:     24e9,
+		RanksPerNode:    ranksPerNode,
+		IntraNodeFactor: 4,
+	}
+}
+
+// PointToPointS returns the time to move `bytes` between two ranks.
+func (n Network) PointToPointS(bytes float64, sameNode bool) float64 {
+	lat, bw := n.LatencyS, n.BandwidthBs
+	if sameNode && n.IntraNodeFactor > 1 {
+		lat /= n.IntraNodeFactor
+		bw *= n.IntraNodeFactor
+	}
+	return lat + bytes/bw
+}
+
+// AllreduceS returns the time for an allreduce of `bytes` across `ranks`
+// ranks (recursive doubling: ceil(log2 P) rounds).
+func (n Network) AllreduceS(bytes float64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(ranks)))
+	return rounds * (n.LatencyS + bytes/n.BandwidthBs)
+}
+
+// AllgatherS returns the time for an allgather where each rank contributes
+// `bytesPerRank` (ring algorithm: P-1 rounds of neighbor exchange).
+func (n Network) AllgatherS(bytesPerRank float64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	return float64(ranks-1) * (n.LatencyS + bytesPerRank/n.BandwidthBs)
+}
+
+// BroadcastS returns the time for a broadcast of `bytes` from one rank
+// (binomial tree: ceil(log2 P) rounds).
+func (n Network) BroadcastS(bytes float64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(ranks)))
+	return rounds * (n.LatencyS + bytes/n.BandwidthBs)
+}
+
+// ReduceScatterS returns the time for a reduce-scatter where each rank
+// ends with `bytesPerRank` of the reduced result (ring: P-1 rounds over
+// shrinking blocks ≈ total payload once over the wire).
+func (n Network) ReduceScatterS(bytesPerRank float64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	return float64(ranks-1)*n.LatencyS + bytesPerRank*float64(ranks-1)/n.BandwidthBs
+}
+
+// HaloExchangeS returns the time for the nearest-neighbor halo exchange of
+// an SPH domain: each rank exchanges `haloBytes` with ~6 SFC-neighbor ranks
+// concurrently (bandwidth shared).
+func (n Network) HaloExchangeS(haloBytes float64, ranks int) float64 {
+	if ranks <= 1 {
+		return 0
+	}
+	const neighbors = 6
+	return n.LatencyS*neighbors + haloBytes*neighbors/n.BandwidthBs
+}
+
+// World is a set of ranks executing in lockstep phases.
+type World struct {
+	Size    int
+	Network Network
+
+	clocks []float64 // virtual time per rank
+	jitter []*rng.Rand
+	mu     sync.Mutex
+}
+
+// NewWorld creates a world of `size` ranks with per-rank deterministic
+// jitter streams derived from seed.
+func NewWorld(size int, net Network, seed uint64) *World {
+	w := &World{Size: size, Network: net}
+	w.clocks = make([]float64, size)
+	root := rng.New(seed)
+	for i := 0; i < size; i++ {
+		w.jitter = append(w.jitter, root.Split())
+	}
+	return w
+}
+
+// Clock returns rank r's virtual time.
+func (w *World) Clock(r int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.clocks[r]
+}
+
+// Advance moves rank r's clock forward by dt seconds.
+func (w *World) Advance(r int, dt float64) {
+	w.mu.Lock()
+	w.clocks[r] += dt
+	w.mu.Unlock()
+}
+
+// Jitter returns a deterministic multiplicative load-imbalance factor for
+// rank r around 1.0 with the given relative spread (e.g. 0.02 for ±2%).
+func (w *World) Jitter(r int, spread float64) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return 1 + spread*(2*w.jitter[r].Float64()-1)
+}
+
+// Execute runs fn(rank) concurrently on all ranks and returns each rank's
+// reported duration. It does not touch the virtual clocks; callers combine
+// the durations with Synchronize.
+func (w *World) Execute(fn func(rank int) float64) []float64 {
+	durs := make([]float64, w.Size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			durs[r] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	return durs
+}
+
+// Synchronize applies per-rank durations, then aligns all clocks to the
+// maximum (a barrier/collective): it returns, per rank, the wait time the
+// barrier imposed on it.
+func (w *World) Synchronize(durs []float64) []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	maxT := 0.0
+	for r, d := range durs {
+		w.clocks[r] += d
+		if w.clocks[r] > maxT {
+			maxT = w.clocks[r]
+		}
+	}
+	waits := make([]float64, w.Size)
+	for r := range w.clocks {
+		waits[r] = maxT - w.clocks[r]
+		w.clocks[r] = maxT
+	}
+	return waits
+}
+
+// MaxClock returns the furthest-advanced rank clock (the job's wall time).
+func (w *World) MaxClock() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := 0.0
+	for _, c := range w.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// SameNode reports whether two ranks share a node under block placement.
+func (w *World) SameNode(a, b int) bool {
+	rpn := w.Network.RanksPerNode
+	if rpn <= 0 {
+		return false
+	}
+	return a/rpn == b/rpn
+}

@@ -1,0 +1,176 @@
+package mpisim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPointToPointCost(t *testing.T) {
+	n := DefaultNetwork(4)
+	small := n.PointToPointS(8, false)
+	big := n.PointToPointS(8e9, false)
+	if small <= n.LatencyS/2 {
+		t.Error("latency floor missing")
+	}
+	if big <= small {
+		t.Error("bandwidth term missing")
+	}
+	// Intra-node is faster.
+	if n.PointToPointS(1e9, true) >= n.PointToPointS(1e9, false) {
+		t.Error("intra-node transfer not faster")
+	}
+}
+
+func TestAllreduceLogScaling(t *testing.T) {
+	n := DefaultNetwork(4)
+	if n.AllreduceS(8, 1) != 0 {
+		t.Error("single-rank allreduce should be free")
+	}
+	t2 := n.AllreduceS(8, 2)
+	t64 := n.AllreduceS(8, 64)
+	if math.Abs(t64/t2-6) > 1e-9 {
+		t.Errorf("log2 scaling: 64-rank/2-rank = %v, want 6", t64/t2)
+	}
+}
+
+func TestAllgatherRingScaling(t *testing.T) {
+	n := DefaultNetwork(4)
+	t4 := n.AllgatherS(100, 4)
+	t8 := n.AllgatherS(100, 8)
+	if math.Abs(t8/t4-7.0/3.0) > 1e-9 {
+		t.Errorf("ring scaling: %v, want %v", t8/t4, 7.0/3.0)
+	}
+}
+
+func TestBroadcastLogScaling(t *testing.T) {
+	n := DefaultNetwork(4)
+	if n.BroadcastS(100, 1) != 0 {
+		t.Error("single-rank broadcast should be free")
+	}
+	if n.BroadcastS(100, 64)/n.BroadcastS(100, 2) != 6 {
+		t.Error("broadcast not log2-scaled")
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	n := DefaultNetwork(4)
+	if n.ReduceScatterS(100, 1) != 0 {
+		t.Error("single-rank reduce-scatter should be free")
+	}
+	if n.ReduceScatterS(1e6, 8) <= n.ReduceScatterS(1e3, 8) {
+		t.Error("reduce-scatter not increasing in volume")
+	}
+	// For the same total payload, reduce-scatter beats allgather+reduce
+	// style full exchange: it is at most the allgather cost.
+	if n.ReduceScatterS(1e6, 8) > n.AllgatherS(1e6, 8)+1e-12 {
+		t.Error("reduce-scatter slower than allgather for the same block size")
+	}
+}
+
+func TestHaloExchange(t *testing.T) {
+	n := DefaultNetwork(4)
+	if n.HaloExchangeS(1e6, 1) != 0 {
+		t.Error("single rank needs no halo exchange")
+	}
+	if n.HaloExchangeS(1e8, 16) <= n.HaloExchangeS(1e6, 16) {
+		t.Error("halo cost not increasing in volume")
+	}
+}
+
+func TestWorldClocksAndBarrier(t *testing.T) {
+	w := NewWorld(4, DefaultNetwork(4), 1)
+	durs := []float64{1.0, 2.0, 0.5, 1.5}
+	waits := w.Synchronize(durs)
+	// All clocks align to the slowest rank (2.0).
+	for r := 0; r < 4; r++ {
+		if math.Abs(w.Clock(r)-2.0) > 1e-12 {
+			t.Errorf("rank %d clock %v, want 2.0", r, w.Clock(r))
+		}
+	}
+	if math.Abs(waits[1]) > 1e-12 {
+		t.Error("slowest rank should not wait")
+	}
+	if math.Abs(waits[2]-1.5) > 1e-12 {
+		t.Errorf("rank 2 wait %v, want 1.5", waits[2])
+	}
+	if w.MaxClock() != 2.0 {
+		t.Errorf("MaxClock = %v", w.MaxClock())
+	}
+}
+
+func TestAdvanceSingleRank(t *testing.T) {
+	w := NewWorld(2, DefaultNetwork(2), 1)
+	w.Advance(0, 3)
+	if w.Clock(0) != 3 || w.Clock(1) != 0 {
+		t.Error("Advance leaked between ranks")
+	}
+}
+
+func TestExecuteRunsAllRanks(t *testing.T) {
+	w := NewWorld(8, DefaultNetwork(4), 1)
+	var count int64
+	durs := w.Execute(func(rank int) float64 {
+		atomic.AddInt64(&count, 1)
+		return float64(rank)
+	})
+	if count != 8 {
+		t.Errorf("executed %d ranks", count)
+	}
+	for r, d := range durs {
+		if d != float64(r) {
+			t.Errorf("rank %d duration %v", r, d)
+		}
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	w1 := NewWorld(4, DefaultNetwork(4), 7)
+	w2 := NewWorld(4, DefaultNetwork(4), 7)
+	for i := 0; i < 100; i++ {
+		for r := 0; r < 4; r++ {
+			j1 := w1.Jitter(r, 0.02)
+			j2 := w2.Jitter(r, 0.02)
+			if j1 != j2 {
+				t.Fatal("jitter not deterministic for equal seeds")
+			}
+			if j1 < 0.98 || j1 > 1.02 {
+				t.Fatalf("jitter %v outside ±2%%", j1)
+			}
+		}
+	}
+}
+
+func TestJitterDiffersAcrossRanks(t *testing.T) {
+	w := NewWorld(2, DefaultNetwork(2), 3)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if w.Jitter(0, 0.05) == w.Jitter(1, 0.05) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("rank jitter streams identical in %d/50 draws", same)
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	w := NewWorld(16, DefaultNetwork(8), 1)
+	if !w.SameNode(0, 7) {
+		t.Error("ranks 0 and 7 share node 0 with 8 ranks/node")
+	}
+	if w.SameNode(7, 8) {
+		t.Error("ranks 7 and 8 are on different nodes")
+	}
+}
+
+func TestSynchronizeAccumulates(t *testing.T) {
+	w := NewWorld(2, DefaultNetwork(2), 1)
+	w.Synchronize([]float64{1, 2})
+	w.Synchronize([]float64{3, 1})
+	// After two phases: max(1,2)=2, then 2+max(3,1)... clocks advance
+	// individually then align: rank0 2+3=5, rank1 2+1=3 -> aligned to 5.
+	if w.MaxClock() != 5 {
+		t.Errorf("MaxClock = %v, want 5", w.MaxClock())
+	}
+}

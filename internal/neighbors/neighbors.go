@@ -1,0 +1,210 @@
+// Package neighbors provides fixed-radius neighbor search for SPH using a
+// uniform cell grid (cell-linked lists), with optional periodic boundaries.
+//
+// The grid resolution adapts to the search radius so that each query scans
+// at most 27 cells. Queries are safe to run concurrently once the grid is
+// built, which the SPH pipeline exploits with one worker per core.
+package neighbors
+
+import (
+	"math"
+
+	"sphenergy/internal/sfc"
+)
+
+// Searcher is the neighbor-search contract shared by the cell grid and the
+// octree backend; the SPH pipeline works against this interface.
+type Searcher interface {
+	// ForEachNeighbor invokes fn for every particle j != i within radius of
+	// particle i, passing the displacement (xi - xj) and distance.
+	ForEachNeighbor(i int, radius float64, fn func(j int, dx, dy, dz, dist float64))
+	// CountNeighbors returns the number of neighbors within radius.
+	CountNeighbors(i int, radius float64) int
+}
+
+// Grid is a cell-linked-list acceleration structure over a particle set.
+type Grid struct {
+	box        sfc.Box
+	nx, ny, nz int
+	cellSize   [3]float64
+	heads      []int32 // first particle index per cell, -1 if empty
+	next       []int32 // linked list per particle
+	x, y, z    []float64
+}
+
+// BuildGrid creates a search grid for particles at (x, y, z) in the box,
+// sized for queries up to maxRadius.
+func BuildGrid(box sfc.Box, x, y, z []float64, maxRadius float64) *Grid {
+	if maxRadius <= 0 {
+		panic("neighbors: maxRadius must be positive")
+	}
+	n := len(x)
+	g := &Grid{box: box, x: x, y: y, z: z}
+	g.nx = gridDim(box.Lx(), maxRadius)
+	g.ny = gridDim(box.Ly(), maxRadius)
+	g.nz = gridDim(box.Lz(), maxRadius)
+	g.cellSize = [3]float64{box.Lx() / float64(g.nx), box.Ly() / float64(g.ny), box.Lz() / float64(g.nz)}
+	g.heads = make([]int32, g.nx*g.ny*g.nz)
+	for i := range g.heads {
+		g.heads[i] = -1
+	}
+	g.next = make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := g.cellOf(x[i], y[i], z[i])
+		g.next[i] = g.heads[c]
+		g.heads[c] = int32(i)
+	}
+	return g
+}
+
+func gridDim(extent, radius float64) int {
+	d := int(extent / radius)
+	if d < 1 {
+		d = 1
+	}
+	// Cap grid dimensions to bound memory for tiny radii.
+	if d > 512 {
+		d = 512
+	}
+	return d
+}
+
+func (g *Grid) cellIndex(cx, cy, cz int) int {
+	return (cz*g.ny+cy)*g.nx + cx
+}
+
+func (g *Grid) cellOf(x, y, z float64) int {
+	cx := clampCell(int((x-g.box.Xmin)/g.cellSize[0]), g.nx)
+	cy := clampCell(int((y-g.box.Ymin)/g.cellSize[1]), g.ny)
+	cz := clampCell(int((z-g.box.Zmin)/g.cellSize[2]), g.nz)
+	return g.cellIndex(cx, cy, cz)
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// wrapCell maps a cell coordinate into [0, n) for periodic dimensions;
+// returns -1 when out of range on non-periodic dimensions.
+func wrapCell(c, n int, periodic bool) int {
+	if c >= 0 && c < n {
+		return c
+	}
+	if !periodic {
+		return -1
+	}
+	c %= n
+	if c < 0 {
+		c += n
+	}
+	return c
+}
+
+// minImage returns the minimum-image displacement d for a periodic dimension
+// of length l.
+func minImage(d, l float64, periodic bool) float64 {
+	if !periodic {
+		return d
+	}
+	if d > l/2 {
+		return d - l
+	}
+	if d < -l/2 {
+		return d + l
+	}
+	return d
+}
+
+// Displacement returns the minimum-image displacement vector from particle j
+// to particle i and its squared norm.
+func (g *Grid) Displacement(i, j int) (dx, dy, dz, r2 float64) {
+	dx = minImage(g.x[i]-g.x[j], g.box.Lx(), g.box.PBCx)
+	dy = minImage(g.y[i]-g.y[j], g.box.Ly(), g.box.PBCy)
+	dz = minImage(g.z[i]-g.z[j], g.box.Lz(), g.box.PBCz)
+	r2 = dx*dx + dy*dy + dz*dz
+	return
+}
+
+// ForEachNeighbor invokes fn for every particle j != i within radius of
+// particle i, passing the displacement (xi - xj) and distance. The maximum
+// useful radius is the one the grid was built for; larger radii miss
+// neighbors.
+func (g *Grid) ForEachNeighbor(i int, radius float64, fn func(j int, dx, dy, dz, dist float64)) {
+	r2max := radius * radius
+	cx := int((g.x[i] - g.box.Xmin) / g.cellSize[0])
+	cy := int((g.y[i] - g.box.Ymin) / g.cellSize[1])
+	cz := int((g.z[i] - g.box.Zmin) / g.cellSize[2])
+	// Number of cells to scan per direction: radius may span multiple cells
+	// when it exceeds the cell size (possible only if caller exceeded
+	// maxRadius; we still handle it correctly up to the scan width).
+	xs := axisCells(cx, scanWidth(radius, g.cellSize[0]), g.nx, g.box.PBCx)
+	ys := axisCells(cy, scanWidth(radius, g.cellSize[1]), g.ny, g.box.PBCy)
+	zs := axisCells(cz, scanWidth(radius, g.cellSize[2]), g.nz, g.box.PBCz)
+	for _, zc := range zs {
+		for _, yc := range ys {
+			for _, xc := range xs {
+				for j := g.heads[g.cellIndex(xc, yc, zc)]; j >= 0; j = g.next[j] {
+					if int(j) == i {
+						continue
+					}
+					dx, dy, dz, r2 := g.Displacement(i, int(j))
+					if r2 < r2max {
+						fn(int(j), dx, dy, dz, math.Sqrt(r2))
+					}
+				}
+			}
+		}
+	}
+}
+
+// axisCells returns the distinct cell coordinates to scan along one axis for
+// a query at cell c with scan half-width s. Periodic wrap-around never
+// visits a cell twice, even when the scan window exceeds the grid size.
+func axisCells(c, s, n int, periodic bool) []int {
+	if 2*s+1 >= n {
+		// Window covers the whole axis: scan every cell once.
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := make([]int, 0, 2*s+1)
+	for d := -s; d <= s; d++ {
+		if w := wrapCell(c+d, n, periodic); w >= 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func scanWidth(radius, cell float64) int {
+	w := int(math.Ceil(radius / cell))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Neighbors collects the indices of all neighbors of particle i within
+// radius. Intended for tests and diagnostics; hot paths use ForEachNeighbor.
+func (g *Grid) Neighbors(i int, radius float64) []int {
+	var out []int
+	g.ForEachNeighbor(i, radius, func(j int, _, _, _, _ float64) {
+		out = append(out, j)
+	})
+	return out
+}
+
+// CountNeighbors returns the number of neighbors of particle i within radius.
+func (g *Grid) CountNeighbors(i int, radius float64) int {
+	n := 0
+	g.ForEachNeighbor(i, radius, func(int, float64, float64, float64, float64) { n++ })
+	return n
+}

@@ -1,0 +1,179 @@
+package nvml
+
+import (
+	"errors"
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+func newLib(t *testing.T, n int) *Library {
+	t.Helper()
+	devs := make([]*gpusim.Device, n)
+	for i := range devs {
+		devs[i] = gpusim.NewDevice(gpusim.A100SXM480GB(), i)
+	}
+	lib, err := New(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestRejectsAMDDevices(t *testing.T) {
+	amd := gpusim.NewDevice(gpusim.MI250XGCD(), 0)
+	if _, err := New([]*gpusim.Device{amd}); err == nil {
+		t.Error("AMD device accepted by NVML")
+	}
+}
+
+func TestUninitializedErrors(t *testing.T) {
+	lib := newLib(t, 1)
+	if _, err := lib.DeviceCount(); !errors.Is(err, ErrUninitialized) {
+		t.Errorf("DeviceCount before Init: %v", err)
+	}
+	if _, err := lib.DeviceGetHandleByIndex(0); !errors.Is(err, ErrUninitialized) {
+		t.Errorf("handle before Init: %v", err)
+	}
+}
+
+func TestInitShutdownLifecycle(t *testing.T) {
+	lib := newLib(t, 2)
+	if err := lib.Init(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := lib.DeviceCount()
+	if err != nil || n != 2 {
+		t.Fatalf("DeviceCount = %d, %v", n, err)
+	}
+	if err := lib.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.DeviceCount(); err == nil {
+		t.Error("DeviceCount after Shutdown should fail")
+	}
+}
+
+func TestHandleOutOfRange(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	if _, err := lib.DeviceGetHandleByIndex(5); !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("bad index: %v", err)
+	}
+	if _, err := lib.DeviceGetHandleByIndex(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestSetApplicationsClocks(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	applied, err := dev.SetApplicationsClocks(0, 1007)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1005 {
+		t.Errorf("applied %d, want snapped 1005", applied)
+	}
+	got, err := dev.ClockInfo(ClockSM)
+	if err != nil || got != 1005 {
+		t.Errorf("ClockInfo(SM) = %d, %v", got, err)
+	}
+	if err := dev.ResetApplicationsClocks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockInfoDomains(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	mem, err := dev.ClockInfo(ClockMem)
+	if err != nil || mem != 1593 {
+		t.Errorf("memory clock = %d, %v (want 1593)", mem, err)
+	}
+	if _, err := dev.ClockInfo(ClockDomain(99)); err == nil {
+		t.Error("bad clock domain accepted")
+	}
+}
+
+func TestSupportedGraphicsClocksDescending(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	clocks := dev.SupportedGraphicsClocks()
+	if len(clocks) == 0 || clocks[0] != 1410 {
+		t.Fatalf("clock table: %v", clocks)
+	}
+	for i := 1; i < len(clocks); i++ {
+		if clocks[i] >= clocks[i-1] {
+			t.Fatal("clock table not descending")
+		}
+	}
+}
+
+func TestEnergyAndPowerUnits(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	dev.SetApplicationsClocks(0, 1410)
+	dev.Sim().Idle(2) // 2 s at idle power
+	mj, err := dev.TotalEnergyConsumption()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMJ := int64(dev.Sim().Spec().IdlePowerW * 2 * 1000)
+	if mj < wantMJ-1 || mj > wantMJ+1 {
+		t.Errorf("energy %d mJ, want ~%d", mj, wantMJ)
+	}
+	mw, err := dev.PowerUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mw < 1000 {
+		t.Errorf("power %d mW implausibly low", mw)
+	}
+}
+
+func TestUtilizationRatesPercent(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	u, err := dev.UtilizationRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0 || u > 100 {
+		t.Errorf("utilization %d%% out of range", u)
+	}
+}
+
+func TestPowerManagementLimit(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	mw, err := dev.PowerManagementLimit()
+	if err != nil || mw != 400000 {
+		t.Errorf("default limit %d mW, %v; want 400000", mw, err)
+	}
+	if err := dev.SetPowerManagementLimit(300000); err != nil {
+		t.Fatal(err)
+	}
+	mw, _ = dev.PowerManagementLimit()
+	if mw != 300000 {
+		t.Errorf("limit after set %d mW", mw)
+	}
+	if err := dev.SetPowerManagementLimit(1000); err == nil {
+		t.Error("absurd limit accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.Init()
+	dev, _ := lib.DeviceGetHandleByIndex(0)
+	if dev.Name() != "NVIDIA A100-SXM4-80GB" {
+		t.Errorf("Name = %q", dev.Name())
+	}
+}

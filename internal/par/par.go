@@ -1,0 +1,153 @@
+// Package par provides the data-parallel loop primitives used by the SPH
+// pipeline: chunked parallel-for over index ranges and parallel reductions,
+// implemented with plain goroutines and sync.WaitGroup.
+//
+// Work is split into contiguous chunks (one per worker) rather than
+// fine-grained tasks: SPH loops are regular, so static chunking avoids
+// scheduling overhead and keeps memory access streaming.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers returns the degree of parallelism used by For and Reduce.
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For executes fn(i) for every i in [0, n) using up to MaxWorkers
+// goroutines. fn must be safe to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into contiguous chunks and executes fn(lo, hi)
+// for each chunk concurrently. Useful when per-chunk setup (scratch buffers)
+// amortizes across iterations.
+func ForChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SumFloat64 computes sum over i in [0, n) of fn(i) with a parallel
+// tree-free reduction (one partial per worker, summed deterministically in
+// worker order).
+func SumFloat64(n int, fn func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += fn(i)
+			}
+			partials[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// MinFloat64 computes the minimum of fn(i) over [0, n); it returns
+// +Inf-equivalent fallback (the first value) semantics by requiring n > 0.
+func MinFloat64(n int, fn func(i int) float64) float64 {
+	if n <= 0 {
+		panic("par: MinFloat64 requires n > 0")
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	partials := make([]float64, workers)
+	used := make([]bool, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := fn(lo)
+			for i := lo + 1; i < hi; i++ {
+				if v := fn(i); v < m {
+					m = v
+				}
+			}
+			partials[w] = m
+			used[w] = true
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var m float64
+	first := true
+	for w := range partials {
+		if !used[w] {
+			continue
+		}
+		if first || partials[w] < m {
+			m = partials[w]
+			first = false
+		}
+	}
+	return m
+}

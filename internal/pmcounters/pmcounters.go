@@ -1,0 +1,171 @@
+// Package pmcounters emulates the HPE/Cray out-of-band power management
+// counters: the read-only /sys/cray/pm_counters/ sysfs files that publish
+// node, CPU, memory and accelerator energy at a default 10 Hz collection
+// rate (Martin, CUG 2014/2018).
+//
+// Two fidelity details matter for the paper's analysis:
+//
+//   - accelerator energy is reported per *card* (accel0..accel3), so on
+//     LUMI-G each file covers the two GCDs — two MPI ranks — of one MI250X;
+//   - readings update at the collection rate, so two reads within one
+//     period return the same value (the quantization the paper's §IV-A
+//     validation has to live with).
+package pmcounters
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sphenergy/internal/cluster"
+)
+
+// CollectionHz is the default Cray PM collection rate.
+const CollectionHz = 10
+
+// Counters exposes the pm_counters view of one node.
+type Counters struct {
+	node *cluster.Node
+	// freshness quantization: counters appear updated only at multiples of
+	// the collection period in node virtual time.
+	periodS float64
+
+	// cached sample
+	lastSampleTime float64
+	cached         sample
+}
+
+type sample struct {
+	nodeJ, cpuJ, memJ float64
+	accelJ            []float64
+	nodeW             float64
+}
+
+// New creates a pm_counters view over a node with the default 10 Hz rate.
+func New(node *cluster.Node) *Counters {
+	return &Counters{node: node, periodS: 1.0 / CollectionHz, lastSampleTime: -1}
+}
+
+// nowS estimates node time as the maximum component time (the OOB
+// controller's wall clock tracks the furthest-advanced component).
+func (c *Counters) nowS() float64 {
+	t := c.node.Aux.NowS()
+	for _, d := range c.node.Devices {
+		if dt := d.Now(); dt > t {
+			t = dt
+		}
+	}
+	return t
+}
+
+// refresh resamples the hardware if a collection period has elapsed.
+func (c *Counters) refresh() {
+	now := c.nowS()
+	tick := float64(int(now/c.periodS)) * c.periodS
+	if c.lastSampleTime >= 0 && tick <= c.lastSampleTime {
+		return
+	}
+	c.lastSampleTime = tick
+	s := sample{
+		cpuJ: c.node.CPUEnergyJ(),
+		memJ: c.node.Mem.Meter.EnergyJ(),
+	}
+	for card := 0; card < c.node.NumCards(); card++ {
+		s.accelJ = append(s.accelJ, c.node.CardEnergyJ(card))
+	}
+	s.nodeJ = c.node.TotalEnergyJ()
+	s.nodeW = c.node.Aux.PowerW()
+	for _, cpu := range c.node.CPUs {
+		s.nodeW += cpu.Meter.PowerW()
+	}
+	s.nodeW += c.node.Mem.Meter.PowerW()
+	for _, d := range c.node.Devices {
+		s.nodeW += d.PowerW()
+	}
+	c.cached = s
+}
+
+// Energy returns the node-level cumulative energy in joules (the `energy`
+// file).
+func (c *Counters) Energy() float64 {
+	c.refresh()
+	return c.cached.nodeJ
+}
+
+// CPUEnergy returns the `cpu_energy` file value in joules.
+func (c *Counters) CPUEnergy() float64 {
+	c.refresh()
+	return c.cached.cpuJ
+}
+
+// MemoryEnergy returns the `memory_energy` file value in joules.
+func (c *Counters) MemoryEnergy() float64 {
+	c.refresh()
+	return c.cached.memJ
+}
+
+// AccelEnergy returns the `accelN_energy` file value in joules for card n.
+func (c *Counters) AccelEnergy(n int) (float64, error) {
+	c.refresh()
+	if n < 0 || n >= len(c.cached.accelJ) {
+		return 0, fmt.Errorf("pmcounters: no accel%d on node %s", n, c.node.Spec.Name)
+	}
+	return c.cached.accelJ[n], nil
+}
+
+// Power returns the node instantaneous power in watts (the `power` file).
+func (c *Counters) Power() float64 {
+	c.refresh()
+	return c.cached.nodeW
+}
+
+// AuxiliaryEnergy computes the "other" energy the paper derives by
+// subtracting CPU, memory and accelerator energy from node energy.
+func (c *Counters) AuxiliaryEnergy() float64 {
+	c.refresh()
+	accel := 0.0
+	for _, a := range c.cached.accelJ {
+		accel += a
+	}
+	return c.cached.nodeJ - c.cached.cpuJ - c.cached.memJ - accel
+}
+
+// Files renders the sysfs file contents, keyed by file name relative to
+// /sys/cray/pm_counters/. Formats follow the real files: "<value> <unit>".
+func (c *Counters) Files() map[string]string {
+	c.refresh()
+	files := map[string]string{
+		"energy":        fmt.Sprintf("%d J", int64(c.cached.nodeJ)),
+		"cpu_energy":    fmt.Sprintf("%d J", int64(c.cached.cpuJ)),
+		"memory_energy": fmt.Sprintf("%d J", int64(c.cached.memJ)),
+		"power":         fmt.Sprintf("%d W", int64(c.cached.nodeW)),
+		"freshness":     fmt.Sprintf("%d", int64(c.lastSampleTime*CollectionHz)),
+		"generation":    "1",
+		"version":       "sphenergy-sim 1",
+	}
+	for i, a := range c.cached.accelJ {
+		files[fmt.Sprintf("accel%d_energy", i)] = fmt.Sprintf("%d J", int64(a))
+	}
+	return files
+}
+
+// WriteSysfs materializes the counters as real files under dir, for tools
+// that expect to read a directory tree. Returns the list of files written.
+func (c *Counters) WriteSysfs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pmcounters: %w", err)
+	}
+	files := c.Files()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(files[name]+"\n"), 0o444); err != nil {
+			return nil, fmt.Errorf("pmcounters: %w", err)
+		}
+	}
+	return names, nil
+}

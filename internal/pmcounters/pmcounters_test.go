@@ -1,0 +1,158 @@
+package pmcounters
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sphenergy/internal/cluster"
+)
+
+// lumiNode builds a LUMI-G node with some activity on its components.
+func lumiNode(t *testing.T) *cluster.Node {
+	t.Helper()
+	node := cluster.NewNode(cluster.LUMIG(), 0)
+	for _, d := range node.Devices {
+		d.Idle(1.0)
+	}
+	node.AdvanceHost(1.0, 0.5, 0.5)
+	return node
+}
+
+func TestPerCardAccounting(t *testing.T) {
+	node := lumiNode(t)
+	c := New(node)
+	// LUMI-G: 8 GCDs on 4 cards; accel files exist for cards 0-3 only.
+	for card := 0; card < 4; card++ {
+		e, err := c.AccelEnergy(card)
+		if err != nil {
+			t.Fatalf("accel%d: %v", card, err)
+		}
+		want := node.Devices[2*card].EnergyJ() + node.Devices[2*card+1].EnergyJ()
+		if math.Abs(e-want) > 1e-9 {
+			t.Errorf("accel%d = %v, want sum of both GCDs %v", card, e, want)
+		}
+	}
+	if _, err := c.AccelEnergy(4); err == nil {
+		t.Error("accel4 should not exist on a 4-card node")
+	}
+}
+
+func TestNodeEnergyIsSumOfComponents(t *testing.T) {
+	node := lumiNode(t)
+	c := New(node)
+	sum := c.CPUEnergy() + c.MemoryEnergy() + c.AuxiliaryEnergy()
+	for card := 0; card < node.NumCards(); card++ {
+		e, _ := c.AccelEnergy(card)
+		sum += e
+	}
+	if math.Abs(sum-c.Energy()) > 1e-6 {
+		t.Errorf("component sum %v != node energy %v", sum, c.Energy())
+	}
+}
+
+func TestAuxiliaryDerivation(t *testing.T) {
+	node := lumiNode(t)
+	c := New(node)
+	// The paper derives "other" by subtraction; it must match the aux meter.
+	if math.Abs(c.AuxiliaryEnergy()-node.Aux.EnergyJ()) > 1e-9 {
+		t.Errorf("aux = %v, meter = %v", c.AuxiliaryEnergy(), node.Aux.EnergyJ())
+	}
+}
+
+func TestCollectionRateQuantization(t *testing.T) {
+	node := cluster.NewNode(cluster.LUMIG(), 0)
+	node.AdvanceHost(1.0, 0.2, 0.2)
+	for _, d := range node.Devices {
+		d.Idle(1.0)
+	}
+	c := New(node)
+	e1 := c.Energy()
+	// Advance by less than one collection period: the reading must not move.
+	for _, d := range node.Devices {
+		d.Idle(0.04)
+	}
+	node.AdvanceHost(0.04, 0.2, 0.2)
+	e2 := c.Energy()
+	if e1 != e2 {
+		t.Errorf("counter moved within one 10 Hz period: %v -> %v", e1, e2)
+	}
+	// Advance beyond a period: now it refreshes.
+	for _, d := range node.Devices {
+		d.Idle(0.2)
+	}
+	node.AdvanceHost(0.2, 0.2, 0.2)
+	if c.Energy() <= e2 {
+		t.Error("counter did not refresh after a collection period")
+	}
+}
+
+func TestFilesFormat(t *testing.T) {
+	node := lumiNode(t)
+	files := New(node).Files()
+	for _, name := range []string{"energy", "cpu_energy", "memory_energy", "power", "freshness", "accel0_energy", "accel3_energy"} {
+		if _, ok := files[name]; !ok {
+			t.Errorf("missing pm file %q", name)
+		}
+	}
+	if !strings.HasSuffix(files["energy"], " J") {
+		t.Errorf("energy file %q missing unit", files["energy"])
+	}
+	if !strings.HasSuffix(files["power"], " W") {
+		t.Errorf("power file %q missing unit", files["power"])
+	}
+}
+
+func TestA100NodeHasOneAccelPerCard(t *testing.T) {
+	node := cluster.NewNode(cluster.CSCSA100(), 0)
+	for _, d := range node.Devices {
+		d.Idle(0.5)
+	}
+	node.AdvanceHost(0.5, 0.1, 0.1)
+	files := New(node).Files()
+	if _, ok := files["accel3_energy"]; !ok {
+		t.Error("CSCS-A100 node should expose 4 accel files")
+	}
+	if _, ok := files["accel4_energy"]; ok {
+		t.Error("CSCS-A100 node exposes too many accel files")
+	}
+}
+
+func TestWriteSysfs(t *testing.T) {
+	node := lumiNode(t)
+	dir := filepath.Join(t.TempDir(), "pm_counters")
+	names, err := New(node).WriteSysfs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 8 {
+		t.Errorf("only %d files written", len(names))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "energy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), " J") {
+		t.Errorf("energy file content %q", data)
+	}
+	info, _ := os.Stat(filepath.Join(dir, "energy"))
+	if info.Mode().Perm()&0o222 != 0 {
+		t.Error("pm_counters files should be read-only")
+	}
+}
+
+func TestPowerReflectsComponents(t *testing.T) {
+	node := lumiNode(t)
+	c := New(node)
+	p := c.Power()
+	if p <= 0 {
+		t.Errorf("node power %v", p)
+	}
+	// At least the idle floors of all components.
+	min := node.Spec.AuxW
+	if p < min {
+		t.Errorf("node power %v below aux floor %v", p, min)
+	}
+}

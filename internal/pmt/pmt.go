@@ -1,0 +1,207 @@
+// Package pmt reimplements the interface of the Power Measurement Toolkit
+// (Corda, Veenboer & Tolley, HUST'22) over the simulated sensors: a common
+// State/Read/Joules API with interchangeable back-ends for Nvidia GPUs
+// (NVML), AMD GPUs (ROCm-SMI), CPUs (RAPL) and whole HPE/Cray nodes
+// (pm_counters).
+//
+// Usage mirrors the real toolkit:
+//
+//	sensor, _ := pmt.Create(pmt.BackendNVML, ...)
+//	start := sensor.Read()
+//	... run the instrumented region ...
+//	end := sensor.Read()
+//	joules := pmt.Joules(start, end)
+package pmt
+
+import (
+	"fmt"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/nvml"
+	"sphenergy/internal/pmcounters"
+	"sphenergy/internal/rapl"
+	"sphenergy/internal/rsmi"
+)
+
+// Backend identifies a PMT measurement back-end.
+type Backend string
+
+// Supported back-ends.
+const (
+	BackendNVML  Backend = "nvml"
+	BackendRSMI  Backend = "rocm"
+	BackendRAPL  Backend = "rapl"
+	BackendCray  Backend = "cray"
+	BackendDummy Backend = "dummy"
+)
+
+// State is one sensor sample: a (virtual) timestamp and cumulative energy,
+// the pair PMT's Read() returns.
+type State struct {
+	TimeS   float64
+	EnergyJ float64
+}
+
+// Joules returns the energy consumed between two states.
+func Joules(start, end State) float64 { return end.EnergyJ - start.EnergyJ }
+
+// Seconds returns the time elapsed between two states.
+func Seconds(start, end State) float64 { return end.TimeS - start.TimeS }
+
+// Watts returns the average power between two states, 0 for empty windows.
+func Watts(start, end State) float64 {
+	dt := Seconds(start, end)
+	if dt <= 0 {
+		return 0
+	}
+	return Joules(start, end) / dt
+}
+
+// Sensor is a PMT measurement source.
+type Sensor interface {
+	// Name identifies the sensor ("nvml:0", "rapl:pkg0", ...).
+	Name() string
+	// Read samples the sensor.
+	Read() State
+}
+
+// nvmlSensor measures one Nvidia device through the NVML energy counter.
+type nvmlSensor struct {
+	dev nvml.Device
+}
+
+// NewNVML creates a GPU sensor over an NVML device handle.
+func NewNVML(dev nvml.Device) Sensor { return &nvmlSensor{dev: dev} }
+
+func (s *nvmlSensor) Name() string { return fmt.Sprintf("nvml:%s", s.dev.Name()) }
+
+func (s *nvmlSensor) Read() State {
+	mj, _ := s.dev.TotalEnergyConsumption()
+	return State{TimeS: s.dev.Sim().Now(), EnergyJ: float64(mj) / 1000}
+}
+
+// rsmiSensor measures one AMD device through the ROCm-SMI energy counter.
+type rsmiSensor struct {
+	lib *rsmi.Library
+	idx int
+	dev *gpusim.Device
+}
+
+// NewRSMI creates a GPU sensor over a rocm-smi device index. The underlying
+// device is needed only for the virtual timestamp.
+func NewRSMI(lib *rsmi.Library, idx int, dev *gpusim.Device) Sensor {
+	return &rsmiSensor{lib: lib, idx: idx, dev: dev}
+}
+
+func (s *rsmiSensor) Name() string { return fmt.Sprintf("rocm:%d", s.idx) }
+
+func (s *rsmiSensor) Read() State {
+	uj, _ := s.lib.DevEnergyCountGet(s.idx)
+	return State{TimeS: s.dev.Now(), EnergyJ: float64(uj) / 1e6}
+}
+
+// raplSensor measures one CPU package through the RAPL counter.
+type raplSensor struct {
+	reader *rapl.Reader
+	cpu    *cluster.CPU
+	pkg    int
+	baseJ  float64
+}
+
+// NewRAPL creates a CPU sensor over a RAPL reader; cpu provides the virtual
+// timestamp of the package meter.
+func NewRAPL(reader *rapl.Reader, cpu *cluster.CPU, pkg int) Sensor {
+	return &raplSensor{reader: reader, cpu: cpu, pkg: pkg}
+}
+
+func (s *raplSensor) Name() string { return fmt.Sprintf("rapl:pkg%d", s.pkg) }
+
+func (s *raplSensor) Read() State {
+	j, _ := s.reader.Poll()
+	return State{TimeS: s.cpu.Meter.NowS(), EnergyJ: j}
+}
+
+// CrayComponent selects which pm_counters file a Cray sensor reads.
+type CrayComponent string
+
+// Cray components.
+const (
+	CrayNode   CrayComponent = "energy"
+	CrayCPU    CrayComponent = "cpu_energy"
+	CrayMemory CrayComponent = "memory_energy"
+	CrayAccel  CrayComponent = "accel" // requires card index
+)
+
+// craySensor measures a node component through pm_counters.
+type craySensor struct {
+	pc        *pmcounters.Counters
+	component CrayComponent
+	card      int
+	node      *cluster.Node
+}
+
+// NewCray creates a sensor over a node's pm_counters view. card selects the
+// accelerator card for CrayAccel and is ignored otherwise.
+func NewCray(node *cluster.Node, component CrayComponent, card int) Sensor {
+	return &craySensor{pc: pmcounters.New(node), component: component, card: card, node: node}
+}
+
+func (s *craySensor) Name() string {
+	if s.component == CrayAccel {
+		return fmt.Sprintf("cray:accel%d_energy", s.card)
+	}
+	return "cray:" + string(s.component)
+}
+
+func (s *craySensor) Read() State {
+	var j float64
+	switch s.component {
+	case CrayNode:
+		j = s.pc.Energy()
+	case CrayCPU:
+		j = s.pc.CPUEnergy()
+	case CrayMemory:
+		j = s.pc.MemoryEnergy()
+	case CrayAccel:
+		j, _ = s.pc.AccelEnergy(s.card)
+	}
+	return State{TimeS: s.node.Aux.NowS(), EnergyJ: j}
+}
+
+// Dummy is PMT's no-op backend for systems without any usable counters.
+type Dummy struct{}
+
+// Name implements Sensor.
+func (Dummy) Name() string { return "dummy" }
+
+// Read implements Sensor.
+func (Dummy) Read() State { return State{} }
+
+// Multi aggregates several sensors into one (e.g. GPU + CPU for a rank's
+// combined footprint). Timestamps take the furthest-advanced sensor.
+type Multi struct {
+	name    string
+	sensors []Sensor
+}
+
+// NewMulti combines sensors under one name.
+func NewMulti(name string, sensors ...Sensor) *Multi {
+	return &Multi{name: name, sensors: sensors}
+}
+
+// Name implements Sensor.
+func (m *Multi) Name() string { return m.name }
+
+// Read implements Sensor.
+func (m *Multi) Read() State {
+	var out State
+	for _, s := range m.sensors {
+		st := s.Read()
+		out.EnergyJ += st.EnergyJ
+		if st.TimeS > out.TimeS {
+			out.TimeS = st.TimeS
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package pmt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is PMT's sampling mode: periodic sensor reads collected into a
+// power-over-time record (the real toolkit runs a sampling thread; here
+// the instrumented application calls Sample at its hook points, since
+// time is virtual).
+type Series struct {
+	sensor Sensor
+	states []State
+}
+
+// NewSeries starts a series on a sensor with an initial sample.
+func NewSeries(sensor Sensor) *Series {
+	s := &Series{sensor: sensor}
+	s.Sample()
+	return s
+}
+
+// Sample reads the sensor and appends the state.
+func (s *Series) Sample() State {
+	st := s.sensor.Read()
+	s.states = append(s.states, st)
+	return st
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.states) }
+
+// States returns a copy of the samples.
+func (s *Series) States() []State {
+	out := make([]State, len(s.states))
+	copy(out, s.states)
+	return out
+}
+
+// TotalJoules returns the energy between the first and last sample.
+func (s *Series) TotalJoules() float64 {
+	if len(s.states) < 2 {
+		return 0
+	}
+	return Joules(s.states[0], s.states[len(s.states)-1])
+}
+
+// Duration returns the time between the first and last sample.
+func (s *Series) Duration() float64 {
+	if len(s.states) < 2 {
+		return 0
+	}
+	return Seconds(s.states[0], s.states[len(s.states)-1])
+}
+
+// PowerStats summarizes the interval powers between consecutive samples:
+// mean, min and max watts. Empty intervals (no time advance) are skipped.
+func (s *Series) PowerStats() (mean, min, max float64, ok bool) {
+	min = math.Inf(1)
+	var sumJ, sumS float64
+	for i := 1; i < len(s.states); i++ {
+		dt := Seconds(s.states[i-1], s.states[i])
+		if dt <= 0 {
+			continue
+		}
+		w := Joules(s.states[i-1], s.states[i]) / dt
+		sumJ += w * dt
+		sumS += dt
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if sumS == 0 {
+		return 0, 0, 0, false
+	}
+	return sumJ / sumS, min, max, true
+}
+
+// String summarizes the series.
+func (s *Series) String() string {
+	mean, min, max, ok := s.PowerStats()
+	if !ok {
+		return fmt.Sprintf("pmt series %q: %d samples, no interval data", s.sensor.Name(), len(s.states))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pmt series %q: %d samples over %.2f s, %.0f J",
+		s.sensor.Name(), len(s.states), s.Duration(), s.TotalJoules())
+	fmt.Fprintf(&b, " (power mean %.1f W, min %.1f W, max %.1f W)", mean, min, max)
+	return b.String()
+}

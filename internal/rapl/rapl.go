@@ -1,0 +1,98 @@
+// Package rapl simulates the Intel/AMD Running Average Power Limit energy
+// counters: per-package MSR-style accumulators with a fixed energy unit and
+// 32-bit wrap-around, which is how the PMT CPU back-end reads CPU energy on
+// non-Cray systems.
+package rapl
+
+import (
+	"errors"
+	"math"
+)
+
+// EnergyUnitJ is the default RAPL energy status unit (2^-14 J ≈ 61 µJ).
+const EnergyUnitJ = 1.0 / 16384
+
+// counterBits is the width of MSR_PKG_ENERGY_STATUS.
+const counterBits = 32
+
+// Source supplies the ground-truth cumulative energy of a package in
+// joules; cluster.CPU implements it.
+type Source interface {
+	EnergyJ() float64
+}
+
+// ErrNoSuchPackage is returned for out-of-range package ids.
+var ErrNoSuchPackage = errors.New("rapl: no such package")
+
+// Interface is a simulated RAPL MSR interface over one node's CPU packages.
+type Interface struct {
+	packages []Source
+	unitJ    float64
+}
+
+// New creates a RAPL interface with the default energy unit.
+func New(packages ...Source) *Interface {
+	return &Interface{packages: packages, unitJ: EnergyUnitJ}
+}
+
+// NumPackages returns the number of CPU packages.
+func (r *Interface) NumPackages() int { return len(r.packages) }
+
+// EnergyUnit returns the joules-per-count unit from MSR_RAPL_POWER_UNIT.
+func (r *Interface) EnergyUnit() float64 { return r.unitJ }
+
+// ReadEnergyStatus returns the raw 32-bit wrapped counter of a package,
+// exactly as MSR_PKG_ENERGY_STATUS would.
+func (r *Interface) ReadEnergyStatus(pkg int) (uint32, error) {
+	if pkg < 0 || pkg >= len(r.packages) {
+		return 0, ErrNoSuchPackage
+	}
+	counts := uint64(r.packages[pkg].EnergyJ() / r.unitJ)
+	return uint32(counts & (1<<counterBits - 1)), nil
+}
+
+// Reader accumulates unwrapped energy from the wrapped counter of one
+// package. Poll at least once per wrap period (~2^32 * 61 µJ ≈ 262 kJ, i.e.
+// ~20 minutes at 200 W) for correct unwrapping — the same constraint real
+// RAPL consumers face.
+type Reader struct {
+	iface   *Interface
+	pkg     int
+	last    uint32
+	totalJ  float64
+	started bool
+}
+
+// NewReader creates a reader for one package.
+func (r *Interface) NewReader(pkg int) (*Reader, error) {
+	if pkg < 0 || pkg >= len(r.packages) {
+		return nil, ErrNoSuchPackage
+	}
+	return &Reader{iface: r, pkg: pkg}, nil
+}
+
+// Poll samples the counter and returns the cumulative unwrapped energy in
+// joules since the first poll.
+func (rd *Reader) Poll() (float64, error) {
+	raw, err := rd.iface.ReadEnergyStatus(rd.pkg)
+	if err != nil {
+		return 0, err
+	}
+	if !rd.started {
+		rd.started = true
+		rd.last = raw
+		return 0, nil
+	}
+	delta := uint64(raw - rd.last) // wrap-safe unsigned subtraction
+	rd.last = raw
+	rd.totalJ += float64(delta) * rd.iface.unitJ
+	return rd.totalJ, nil
+}
+
+// TotalJ returns the energy accumulated so far without re-polling.
+func (rd *Reader) TotalJ() float64 { return rd.totalJ }
+
+// MaxCounterJoules returns the wrap period in joules, for sizing poll rates.
+func (r *Interface) MaxCounterJoules() float64 {
+	return math.Exp2(counterBits) * r.unitJ
+}

@@ -1,0 +1,127 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fakeSource is a controllable energy source.
+type fakeSource struct{ j float64 }
+
+func (f *fakeSource) EnergyJ() float64 { return f.j }
+
+func TestReadEnergyStatusUnits(t *testing.T) {
+	src := &fakeSource{j: 1.0}
+	r := New(src)
+	raw, err := r.ReadEnergyStatus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(1.0 / EnergyUnitJ)
+	if raw != want {
+		t.Errorf("raw counter %d, want %d", raw, want)
+	}
+}
+
+func TestNoSuchPackage(t *testing.T) {
+	r := New(&fakeSource{})
+	if _, err := r.ReadEnergyStatus(1); err != ErrNoSuchPackage {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := r.NewReader(-1); err != ErrNoSuchPackage {
+		t.Errorf("NewReader err = %v", err)
+	}
+}
+
+func TestReaderAccumulates(t *testing.T) {
+	src := &fakeSource{}
+	r := New(src)
+	rd, err := r.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := rd.Poll(); j != 0 {
+		t.Errorf("first poll = %v, want 0", j)
+	}
+	src.j = 100
+	j, _ := rd.Poll()
+	if math.Abs(j-100) > 2*EnergyUnitJ {
+		t.Errorf("after 100 J: %v", j)
+	}
+	src.j = 250.5
+	j, _ = rd.Poll()
+	if math.Abs(j-250.5) > 3*EnergyUnitJ {
+		t.Errorf("after 250.5 J: %v", j)
+	}
+	if rd.TotalJ() != j {
+		t.Error("TotalJ inconsistent with Poll result")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	// The 32-bit counter wraps every ~262 kJ; the reader must survive it.
+	src := &fakeSource{}
+	r := New(src)
+	rd, _ := r.NewReader(0)
+	rd.Poll()
+	wrap := r.MaxCounterJoules()
+	// Step across the wrap boundary in increments below the wrap period.
+	total := 0.0
+	step := wrap * 0.4
+	for i := 0; i < 6; i++ {
+		total += step
+		src.j = total
+		rd.Poll()
+	}
+	if math.Abs(rd.TotalJ()-total) > 1e-3*total {
+		t.Errorf("unwrapped %v, want %v (6 polls across ~2.4 wraps)", rd.TotalJ(), total)
+	}
+}
+
+func TestWrapAroundProperty(t *testing.T) {
+	f := func(stepsRaw []uint32) bool {
+		src := &fakeSource{}
+		r := New(src)
+		rd, _ := r.NewReader(0)
+		rd.Poll()
+		total := 0.0
+		for _, s := range stepsRaw {
+			// Steps below half the wrap period are always unwrappable.
+			delta := float64(s%100000) * EnergyUnitJ * 10
+			if delta > r.MaxCounterJoules()/2 {
+				continue
+			}
+			total += delta
+			src.j = total
+			rd.Poll()
+		}
+		return math.Abs(rd.TotalJ()-total) < 1e-6*total+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplePackages(t *testing.T) {
+	a, b := &fakeSource{j: 10}, &fakeSource{j: 20}
+	r := New(a, b)
+	if r.NumPackages() != 2 {
+		t.Fatalf("NumPackages = %d", r.NumPackages())
+	}
+	ra, _ := r.ReadEnergyStatus(0)
+	rb, _ := r.ReadEnergyStatus(1)
+	if ra >= rb {
+		t.Error("package counters not independent")
+	}
+}
+
+func TestEnergyUnit(t *testing.T) {
+	r := New(&fakeSource{})
+	if r.EnergyUnit() != EnergyUnitJ {
+		t.Error("unexpected energy unit")
+	}
+	if math.Abs(r.MaxCounterJoules()-math.Exp2(32)*EnergyUnitJ) > 1 {
+		t.Error("wrap period mismatch")
+	}
+}

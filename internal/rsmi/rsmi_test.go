@@ -1,0 +1,143 @@
+package rsmi
+
+import (
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+func newLib(t *testing.T, n int) *Library {
+	t.Helper()
+	devs := make([]*gpusim.Device, n)
+	for i := range devs {
+		devs[i] = gpusim.NewDevice(gpusim.MI250XGCD(), i)
+	}
+	lib, err := New(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestRejectsNvidiaDevices(t *testing.T) {
+	nv := gpusim.NewDevice(gpusim.A100SXM480GB(), 0)
+	if _, err := New([]*gpusim.Device{nv}); err == nil {
+		t.Error("Nvidia device accepted by rsmi")
+	}
+}
+
+func TestNumMonitorDevices(t *testing.T) {
+	if got := newLib(t, 3).NumMonitorDevices(); got != 3 {
+		t.Errorf("NumMonitorDevices = %d", got)
+	}
+}
+
+func TestClkFreqGetSet(t *testing.T) {
+	lib := newLib(t, 1)
+	freqs, cur, err := lib.DevGPUClkFreqGet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freqs[0] != 1700 {
+		t.Errorf("top frequency %d, want 1700", freqs[0])
+	}
+	if cur < 0 || cur >= len(freqs) {
+		t.Errorf("current index %d out of range", cur)
+	}
+	// Set to the second-highest entry.
+	applied, err := lib.DevGPUClkFreqSet(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != freqs[1] {
+		t.Errorf("applied %d, want %d", applied, freqs[1])
+	}
+	_, cur, _ = lib.DevGPUClkFreqGet(0)
+	if cur != 1 {
+		t.Errorf("current index after set = %d, want 1", cur)
+	}
+}
+
+func TestClkFreqSetBadIndex(t *testing.T) {
+	lib := newLib(t, 1)
+	if _, err := lib.DevGPUClkFreqSet(0, 9999); err == nil {
+		t.Error("bad frequency index accepted")
+	}
+	if _, err := lib.DevGPUClkFreqSet(5, 0); err == nil {
+		t.Error("bad device index accepted")
+	}
+}
+
+func TestPerfLevelAuto(t *testing.T) {
+	lib := newLib(t, 1)
+	lib.DevGPUClkFreqSet(0, 0)
+	if err := lib.DevPerfLevelSetAuto(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerAndEnergyCounters(t *testing.T) {
+	devs := []*gpusim.Device{gpusim.NewDevice(gpusim.MI250XGCD(), 0)}
+	lib, _ := New(devs)
+	devs[0].Idle(3)
+	uw, err := lib.DevPowerAveGet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uw <= 0 {
+		t.Errorf("power %d µW", uw)
+	}
+	uj, err := lib.DevEnergyCountGet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In auto mode the governor adds its stability margin on top of the
+	// idle floor, so the counter sits between floor and 1.5x floor.
+	floorUJ := uint64(devs[0].Spec().IdlePowerW * 3 * 1e6)
+	if uj < floorUJ || uj > floorUJ*3/2 {
+		t.Errorf("energy %d µJ, want in [%d, %d]", uj, floorUJ, floorUJ*3/2)
+	}
+}
+
+func TestBusyPercent(t *testing.T) {
+	lib := newLib(t, 1)
+	b, err := lib.DevBusyPercentGet(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 0 || b > 100 {
+		t.Errorf("busy %d%%", b)
+	}
+}
+
+func TestPowerCapSetGetReset(t *testing.T) {
+	devs := []*gpusim.Device{gpusim.NewDevice(gpusim.MI250XGCD(), 0)}
+	lib, _ := New(devs)
+	if err := lib.DevPowerCapSet(0, 200e6); err != nil { // 200 W
+		t.Fatal(err)
+	}
+	uw, err := lib.DevPowerCapGet(0)
+	if err != nil || uw != 200e6 {
+		t.Errorf("cap %d µW, %v", uw, err)
+	}
+	if err := lib.DevPowerCapSet(0, 1e12); err == nil {
+		t.Error("absurd cap accepted")
+	}
+	if err := lib.DevPowerCapReset(0); err != nil {
+		t.Fatal(err)
+	}
+	uw, _ = lib.DevPowerCapGet(0)
+	if uw != int64(devs[0].Spec().TDPW*1e6) {
+		t.Errorf("cap after reset %d µW", uw)
+	}
+	// Bad device indices.
+	if err := lib.DevPowerCapSet(5, 1); err == nil {
+		t.Error("bad index accepted")
+	}
+	if _, err := lib.DevPowerCapGet(5); err == nil {
+		t.Error("bad index accepted")
+	}
+	if err := lib.DevPowerCapReset(5); err == nil {
+		t.Error("bad index accepted")
+	}
+}

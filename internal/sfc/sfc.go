@@ -1,0 +1,209 @@
+// Package sfc implements the space-filling-curve machinery that underlies
+// cornerstone-style octrees: 63-bit Morton (Z-order) keys over a cubic
+// bounding box, with 21 bits of resolution per dimension.
+//
+// Keys order particles along the Z-curve; contiguous key ranges correspond to
+// octree nodes, which is what makes SFC-based domain decomposition cheap.
+package sfc
+
+import (
+	"fmt"
+	"math"
+)
+
+// BitsPerDim is the per-dimension key resolution. 3*21 = 63 bits fit a
+// non-negative int64/uint64 key with one spare bit.
+const BitsPerDim = 21
+
+// MaxCoord is the largest integer coordinate representable per dimension.
+const MaxCoord = (1 << BitsPerDim) - 1
+
+// MaxLevel is the deepest octree subdivision level a key can address.
+const MaxLevel = BitsPerDim
+
+// Key is a 63-bit Morton code.
+type Key uint64
+
+// KeyEnd is one past the largest valid key; [0, KeyEnd) spans the whole box.
+const KeyEnd Key = 1 << (3 * BitsPerDim)
+
+// Box is an axis-aligned cuboid domain. SFC keys are computed after
+// normalizing positions into the unit cube spanned by the box, so slightly
+// anisotropic domains are supported (each dimension is scaled independently).
+type Box struct {
+	Xmin, Ymin, Zmin float64
+	Xmax, Ymax, Zmax float64
+	// PBC enables periodic boundary conditions per dimension.
+	PBCx, PBCy, PBCz bool
+}
+
+// NewCube returns a cubic box [lo, hi]^3 without periodicity.
+func NewCube(lo, hi float64) Box {
+	return Box{Xmin: lo, Ymin: lo, Zmin: lo, Xmax: hi, Ymax: hi, Zmax: hi}
+}
+
+// NewPeriodicCube returns a cubic box [lo, hi]^3 periodic in all dimensions.
+func NewPeriodicCube(lo, hi float64) Box {
+	b := NewCube(lo, hi)
+	b.PBCx, b.PBCy, b.PBCz = true, true, true
+	return b
+}
+
+// Lx returns the box extent in x.
+func (b Box) Lx() float64 { return b.Xmax - b.Xmin }
+
+// Ly returns the box extent in y.
+func (b Box) Ly() float64 { return b.Ymax - b.Ymin }
+
+// Lz returns the box extent in z.
+func (b Box) Lz() float64 { return b.Zmax - b.Zmin }
+
+// Volume returns the box volume.
+func (b Box) Volume() float64 { return b.Lx() * b.Ly() * b.Lz() }
+
+// MinExtent returns the smallest box dimension.
+func (b Box) MinExtent() float64 {
+	return math.Min(b.Lx(), math.Min(b.Ly(), b.Lz()))
+}
+
+// Wrap maps a coordinate into the box under periodic boundaries, leaving
+// non-periodic dimensions clamped to the box.
+func (b Box) Wrap(x, y, z float64) (float64, float64, float64) {
+	x = wrap1(x, b.Xmin, b.Xmax, b.PBCx)
+	y = wrap1(y, b.Ymin, b.Ymax, b.PBCy)
+	z = wrap1(z, b.Zmin, b.Zmax, b.PBCz)
+	return x, y, z
+}
+
+func wrap1(v, lo, hi float64, periodic bool) float64 {
+	l := hi - lo
+	if periodic {
+		for v < lo {
+			v += l
+		}
+		for v >= hi {
+			v -= l
+		}
+		return v
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// spreadBits inserts two zero bits between each of the low 21 bits of x.
+func spreadBits(x uint64) uint64 {
+	x &= 0x1FFFFF // 21 bits
+	x = (x | x<<32) & 0x1F00000000FFFF
+	x = (x | x<<16) & 0x1F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// compactBits is the inverse of spreadBits.
+func compactBits(x uint64) uint64 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10C30C30C30C30C3
+	x = (x ^ x>>4) & 0x100F00F00F00F00F
+	x = (x ^ x>>8) & 0x1F0000FF0000FF
+	x = (x ^ x>>16) & 0x1F00000000FFFF
+	x = (x ^ x>>32) & 0x1FFFFF
+	return x
+}
+
+// Encode3D interleaves three 21-bit integer coordinates into a Morton key.
+func Encode3D(ix, iy, iz uint32) Key {
+	return Key(spreadBits(uint64(ix))<<2 | spreadBits(uint64(iy))<<1 | spreadBits(uint64(iz)))
+}
+
+// Decode3D recovers the integer coordinates from a Morton key.
+func Decode3D(k Key) (ix, iy, iz uint32) {
+	ix = uint32(compactBits(uint64(k) >> 2))
+	iy = uint32(compactBits(uint64(k) >> 1))
+	iz = uint32(compactBits(uint64(k)))
+	return
+}
+
+// Coord quantizes a position in the box to integer grid coordinates.
+func (b Box) Coord(x, y, z float64) (uint32, uint32, uint32) {
+	return quantize(x, b.Xmin, b.Xmax),
+		quantize(y, b.Ymin, b.Ymax),
+		quantize(z, b.Zmin, b.Zmax)
+}
+
+func quantize(v, lo, hi float64) uint32 {
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	i := int64(t * (MaxCoord + 1))
+	if i > MaxCoord {
+		i = MaxCoord
+	}
+	return uint32(i)
+}
+
+// KeyOf computes the Morton key of a position in the box.
+func (b Box) KeyOf(x, y, z float64) Key {
+	ix, iy, iz := b.Coord(x, y, z)
+	return Encode3D(ix, iy, iz)
+}
+
+// CenterOf returns the position of a key's grid cell center within the box.
+func (b Box) CenterOf(k Key) (x, y, z float64) {
+	ix, iy, iz := Decode3D(k)
+	cell := 1.0 / (MaxCoord + 1)
+	x = b.Xmin + (float64(ix)+0.5)*cell*b.Lx()
+	y = b.Ymin + (float64(iy)+0.5)*cell*b.Ly()
+	z = b.Zmin + (float64(iz)+0.5)*cell*b.Lz()
+	return
+}
+
+// NodeRange returns the half-open key range [start, end) covered by the
+// octree node at the given level that contains key k. Level 0 is the root.
+func NodeRange(k Key, level int) (Key, Key) {
+	if level < 0 || level > MaxLevel {
+		panic(fmt.Sprintf("sfc: invalid level %d", level))
+	}
+	shift := uint(3 * (MaxLevel - level))
+	start := k >> shift << shift
+	return start, start + 1<<shift
+}
+
+// NodeSize returns the number of leaf-resolution keys inside one node at the
+// given level.
+func NodeSize(level int) Key {
+	return 1 << uint(3*(MaxLevel-level))
+}
+
+// TreeLevel returns the octree level of a node whose key range length is
+// count, or -1 if count is not a power-of-eight node size.
+func TreeLevel(count Key) int {
+	for l := 0; l <= MaxLevel; l++ {
+		if NodeSize(l) == count {
+			return l
+		}
+	}
+	return -1
+}
+
+// CommonPrefixLevel returns the deepest level at which a and b fall into the
+// same octree node.
+func CommonPrefixLevel(a, b Key) int {
+	x := uint64(a ^ b)
+	if x == 0 {
+		return MaxLevel
+	}
+	// Highest differing bit index (0..62).
+	hi := 62
+	for hi >= 0 && x>>uint(hi)&1 == 0 {
+		hi--
+	}
+	return MaxLevel - hi/3 - 1
+}

@@ -1,0 +1,175 @@
+package sfc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		ix, iy, iz := x&MaxCoord, y&MaxCoord, z&MaxCoord
+		gx, gy, gz := Decode3D(Encode3D(ix, iy, iz))
+		return gx == ix && gy == iy && gz == iz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeCorners(t *testing.T) {
+	if Encode3D(0, 0, 0) != 0 {
+		t.Error("origin key not 0")
+	}
+	k := Encode3D(MaxCoord, MaxCoord, MaxCoord)
+	if k != KeyEnd-1 {
+		t.Errorf("max corner key = %d, want %d", k, KeyEnd-1)
+	}
+}
+
+func TestKeyOfWithinBounds(t *testing.T) {
+	b := NewCube(0, 1)
+	f := func(x, y, z float64) bool {
+		// Wrap arbitrary floats into [0, 1).
+		wx, wy, wz := b.Wrap(x, y, z)
+		k := b.KeyOf(wx, wy, wz)
+		return k < KeyEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeEdges(t *testing.T) {
+	b := NewCube(0, 1)
+	ix, iy, iz := b.Coord(0, 0.5, 1.0)
+	if ix != 0 {
+		t.Errorf("coord at 0 = %d", ix)
+	}
+	if iz != MaxCoord {
+		t.Errorf("coord at max edge = %d, want %d", iz, MaxCoord)
+	}
+	if iy != MaxCoord/2 && iy != MaxCoord/2+1 {
+		t.Errorf("coord at middle = %d", iy)
+	}
+	// Out-of-box coordinates clamp rather than wrap at quantization.
+	ox, _, _ := b.Coord(-5, 0, 0)
+	if ox != 0 {
+		t.Errorf("below-box coord = %d, want 0", ox)
+	}
+}
+
+func TestCenterOfRoundtrip(t *testing.T) {
+	b := NewCube(-1, 3)
+	x, y, z := 0.123, 1.9, 2.5
+	k := b.KeyOf(x, y, z)
+	cx, cy, cz := b.CenterOf(k)
+	cell := 4.0 / (1 << BitsPerDim)
+	if dx := cx - x; dx > cell || dx < -cell {
+		t.Errorf("center x %v too far from %v", cx, x)
+	}
+	if dy := cy - y; dy > cell || dy < -cell {
+		t.Errorf("center y %v too far from %v", cy, y)
+	}
+	if dz := cz - z; dz > cell || dz < -cell {
+		t.Errorf("center z %v too far from %v", cz, z)
+	}
+}
+
+func TestSpatialLocality(t *testing.T) {
+	// Points in the same octant share the top key bits.
+	b := NewCube(0, 1)
+	k1 := b.KeyOf(0.1, 0.1, 0.1)
+	k2 := b.KeyOf(0.2, 0.2, 0.2)
+	k3 := b.KeyOf(0.9, 0.9, 0.9)
+	if CommonPrefixLevel(k1, k2) < 1 {
+		t.Error("nearby points should share at least level 1")
+	}
+	if CommonPrefixLevel(k1, k3) != 0 {
+		t.Error("opposite corners should only share the root")
+	}
+}
+
+func TestNodeRange(t *testing.T) {
+	b := NewCube(0, 1)
+	k := b.KeyOf(0.3, 0.7, 0.2)
+	for level := 0; level <= 4; level++ {
+		start, end := NodeRange(k, level)
+		if k < start || k >= end {
+			t.Errorf("level %d: key outside its node range", level)
+		}
+		if end-start != NodeSize(level) {
+			t.Errorf("level %d: size %d, want %d", level, end-start, NodeSize(level))
+		}
+		if start%(end-start) != 0 {
+			t.Errorf("level %d: misaligned node start", level)
+		}
+	}
+	s, e := NodeRange(k, 0)
+	if s != 0 || e != KeyEnd {
+		t.Error("level-0 node should cover the whole space")
+	}
+}
+
+func TestNodeRangePanicsOnBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NodeRange with level -1 did not panic")
+		}
+	}()
+	NodeRange(0, -1)
+}
+
+func TestTreeLevel(t *testing.T) {
+	for l := 0; l <= MaxLevel; l++ {
+		if got := TreeLevel(NodeSize(l)); got != l {
+			t.Errorf("TreeLevel(NodeSize(%d)) = %d", l, got)
+		}
+	}
+	if TreeLevel(3) != -1 {
+		t.Error("non-power-of-eight size should give -1")
+	}
+}
+
+func TestCommonPrefixLevelProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka := Key(a) % KeyEnd
+		kb := Key(b) % KeyEnd
+		l := CommonPrefixLevel(ka, kb)
+		if l < 0 || l > MaxLevel {
+			return false
+		}
+		// Both keys must be inside the same node at level l.
+		sa, ea := NodeRange(ka, l)
+		return kb >= sa && kb < ea
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicWrap(t *testing.T) {
+	b := NewPeriodicCube(0, 1)
+	x, y, z := b.Wrap(1.25, -0.25, 0.5)
+	if x != 0.25 || y != 0.75 || z != 0.5 {
+		t.Errorf("Wrap = (%v, %v, %v)", x, y, z)
+	}
+	// Non-periodic boxes clamp.
+	nb := NewCube(0, 1)
+	cx, _, _ := nb.Wrap(1.25, 0.5, 0.5)
+	if cx != 1 {
+		t.Errorf("clamp = %v, want 1", cx)
+	}
+}
+
+func TestBoxGeometry(t *testing.T) {
+	b := Box{Xmin: 0, Xmax: 2, Ymin: -1, Ymax: 1, Zmin: 0, Zmax: 0.5}
+	if b.Lx() != 2 || b.Ly() != 2 || b.Lz() != 0.5 {
+		t.Error("extent mismatch")
+	}
+	if b.Volume() != 2 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if b.MinExtent() != 0.5 {
+		t.Errorf("MinExtent = %v", b.MinExtent())
+	}
+}

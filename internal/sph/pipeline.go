@@ -1,0 +1,147 @@
+package sph
+
+import (
+	"math"
+
+	"sphenergy/internal/neighbors"
+	"sphenergy/internal/par"
+)
+
+// FindNeighbors rebuilds the neighbor grid for the current particle
+// positions and records per-particle neighbor counts. It also adapts
+// smoothing lengths toward the target neighbor count using the standard
+// n^(1/3) update, which converges in a few steps for smooth distributions.
+func (s *State) FindNeighbors() {
+	p := s.P
+	maxH := p.MaxH()
+	s.Grid = BuildGridFor(s)
+	ng := float64(s.Opt.NgTarget)
+	par.For(p.N, func(i int) {
+		n := s.Grid.CountNeighbors(i, 2*p.H[i])
+		p.NC[i] = int32(n)
+		// Smoothing-length update: h <- h/2 * (1 + (Ng/(n+1))^(1/3)).
+		c := math.Cbrt(ng / float64(n+1))
+		h := 0.5 * p.H[i] * (1 + c)
+		// Clamp the change to keep the grid valid for this step.
+		if h > 1.3*p.H[i] {
+			h = 1.3 * p.H[i]
+		}
+		if h < 0.7*p.H[i] {
+			h = 0.7 * p.H[i]
+		}
+		if h > maxH*1.3 {
+			h = maxH * 1.3
+		}
+		p.H[i] = h
+	})
+	s.MaxH = p.MaxH()
+}
+
+// BuildGridFor constructs the neighbor search structure sized for the
+// current maximum interaction radius, honoring the configured backend.
+func BuildGridFor(s *State) neighbors.Searcher {
+	p := s.P
+	if s.Opt.TreeSearch {
+		bucket := s.Opt.TreeBucketSize
+		if bucket <= 0 {
+			bucket = 64
+		}
+		return neighbors.BuildTree(s.Opt.Box, p.X, p.Y, p.Z, bucket)
+	}
+	maxH := p.MaxH()
+	radius := 2 * maxH * 1.3 // allow for the in-step h growth clamp
+	if radius <= 0 {
+		radius = s.Opt.Box.MinExtent() / 4
+	}
+	return neighbors.BuildGrid(s.Opt.Box, p.X, p.Y, p.Z, radius)
+}
+
+// XMass computes the generalized volume-element normalization
+// kx_i = sum_j x_j W_ij(h_i) (including the self contribution), where
+// x_i = m_i for standard SPH (VEExponent = 0). The density estimate is
+// rho_i = kx_i * m_i / x_i.
+//
+// This is the first of the two density-like passes of SPH-EXA's pipeline
+// ("computeXMass" in the original framework).
+func (s *State) XMass() {
+	p := s.P
+	k := s.Opt.Kernel
+	// Volume element mass: with exponent p>0 this uses the previous step's
+	// density, which is the standard VE iteration.
+	par.For(p.N, func(i int) {
+		xm := p.M[i]
+		if s.Opt.VEExponent > 0 && p.Rho[i] > 0 {
+			xm = p.M[i] * math.Pow(p.M[i]/p.Rho[i], s.Opt.VEExponent)
+		}
+		p.XM[i] = xm
+	})
+	par.For(p.N, func(i int) {
+		hi := p.H[i]
+		sum := p.XM[i] * k.W(0, hi)
+		s.Grid.ForEachNeighbor(i, 2*hi, func(j int, _, _, _, dist float64) {
+			sum += p.XM[j] * k.W(dist, hi)
+		})
+		p.Kx[i] = sum
+		p.Rho[i] = sum * p.M[i] / p.XM[i]
+	})
+}
+
+// NormalizationGradh computes the gradh (Omega) correction factors
+// Omega_i = 1 + (h_i / (3 kx_i)) * sum_j x_j dW/dh_ij, which appear in the
+// momentum and energy equations of the variable-smoothing-length
+// formulation. ("computeVeDefGradh" in SPH-EXA.)
+func (s *State) NormalizationGradh() {
+	p := s.P
+	k := s.Opt.Kernel
+	par.For(p.N, func(i int) {
+		hi := p.H[i]
+		// dW/dh = -(3 W + q dW/dq)/h = -(3 W(r,h) + (r/h) * h*DW(r,h))/h.
+		dsum := -3 * p.XM[i] * k.W(0, hi) / hi
+		s.Grid.ForEachNeighbor(i, 2*hi, func(j int, _, _, _, dist float64) {
+			w := k.W(dist, hi)
+			dw := k.DW(dist, hi)
+			dwdh := -(3*w + dist*dw) / hi
+			dsum += p.XM[j] * dwdh
+		})
+		omega := 1 + hi/(3*p.Kx[i])*dsum
+		// Guard against pathological configurations.
+		if omega < 0.2 || math.IsNaN(omega) {
+			omega = 0.2
+		}
+		p.Gradh[i] = omega
+	})
+}
+
+// EquationOfState evaluates pressure and sound speed from density and
+// internal energy for every particle.
+func (s *State) EquationOfState() {
+	p := s.P
+	eos := s.Opt.EOS
+	par.For(p.N, func(i int) {
+		p.P[i], p.C[i] = eos.PressureSoundSpeed(p.Rho[i], p.U[i])
+	})
+}
+
+// UpdateQuantities advances positions, velocities and internal energy by one
+// timestep using a kick-drift scheme with the freshly computed accelerations
+// and du/dt, then wraps positions into the (possibly periodic) box.
+// ("UpdateQuantities" in SPH-EXA's main loop.)
+func (s *State) UpdateQuantities(dt float64) {
+	p := s.P
+	box := s.Opt.Box
+	par.For(p.N, func(i int) {
+		p.VX[i] += p.AX[i] * dt
+		p.VY[i] += p.AY[i] * dt
+		p.VZ[i] += p.AZ[i] * dt
+		p.X[i] += p.VX[i] * dt
+		p.Y[i] += p.VY[i] * dt
+		p.Z[i] += p.VZ[i] * dt
+		p.X[i], p.Y[i], p.Z[i] = box.Wrap(p.X[i], p.Y[i], p.Z[i])
+		p.U[i] += p.DU[i] * dt
+		if p.U[i] < 1e-12 {
+			p.U[i] = 1e-12
+		}
+	})
+	s.Time += dt
+	s.Step++
+}

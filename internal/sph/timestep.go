@@ -1,0 +1,116 @@
+package sph
+
+import (
+	"math"
+
+	"sphenergy/internal/par"
+)
+
+// Timestep computes the next CFL-limited timestep:
+//
+//	dt = CFL * min_i h_i / (c_i + 1.2 alpha_i c_i)
+//
+// combined with an acceleration criterion sqrt(h_i/|a_i|). Growth relative
+// to the previous step is bounded by MaxDtGrowth. This corresponds to the
+// paper's Timestep function, which ends each iteration with a collective
+// reduction across ranks.
+func (s *State) Timestep() float64 {
+	p := s.P
+	dt := par.MinFloat64(p.N, func(i int) float64 {
+		signal := p.C[i] * (1 + 1.2*p.Alpha[i])
+		dtc := math.Inf(1)
+		if signal > 0 {
+			dtc = s.Opt.CFL * p.H[i] / signal
+		}
+		a := math.Sqrt(p.AX[i]*p.AX[i] + p.AY[i]*p.AY[i] + p.AZ[i]*p.AZ[i])
+		if a > 0 {
+			dta := s.Opt.CFL * math.Sqrt(p.H[i]/a)
+			if dta < dtc {
+				return dta
+			}
+		}
+		return dtc
+	})
+	if math.IsInf(dt, 1) || dt <= 0 {
+		if s.Dt > 0 {
+			dt = s.Dt
+		} else {
+			dt = 1e-6
+		}
+	}
+	if max := s.Dt * s.Opt.MaxDtGrowth; s.Dt > 0 && dt > max {
+		dt = max
+	}
+	s.Dt = dt
+	return dt
+}
+
+// RunStep advances the simulation by one full pipeline iteration in SPH-EXA's
+// order: FindNeighbors, XMass, NormalizationGradh, EquationOfState,
+// IADVelocityDivCurl, AVSwitches, MomentumEnergy, optional extra
+// accelerations (self-gravity), Timestep, UpdateQuantities. extraAccel, if
+// non-nil, runs after MomentumEnergy and must add into AX/AY/AZ. Returns
+// the timestep taken.
+func (s *State) RunStep(extraAccel func(p *Particles)) float64 {
+	s.FindNeighbors()
+	s.XMass()
+	s.NormalizationGradh()
+	s.EquationOfState()
+	s.IADVelocityDivCurl()
+	s.AVSwitches(s.Dt)
+	s.MomentumEnergy()
+	if extraAccel != nil {
+		extraAccel(s.P)
+	}
+	dt := s.Timestep()
+	s.UpdateQuantities(dt)
+	return dt
+}
+
+// Energies summarizes the conserved quantities of the particle system:
+// kinetic, internal, and (if enabled via pot) potential energy, plus the
+// total linear momentum magnitude.
+type Energies struct {
+	Kinetic, Internal, Potential float64
+	MomX, MomY, MomZ             float64
+	Mass                         float64
+}
+
+// Total returns the total energy.
+func (e Energies) Total() float64 { return e.Kinetic + e.Internal + e.Potential }
+
+// ComputeEnergies evaluates the energy/momentum diagnostics. pot, if
+// non-nil, supplies per-particle potential energy (from the gravity module).
+func (s *State) ComputeEnergies(pot []float64) Energies {
+	p := s.P
+	var e Energies
+	for i := 0; i < p.N; i++ {
+		v2 := p.VX[i]*p.VX[i] + p.VY[i]*p.VY[i] + p.VZ[i]*p.VZ[i]
+		e.Kinetic += 0.5 * p.M[i] * v2
+		e.Internal += p.M[i] * p.U[i]
+		if pot != nil {
+			e.Potential += 0.5 * p.M[i] * pot[i] // pairwise potential counted once
+		}
+		e.MomX += p.M[i] * p.VX[i]
+		e.MomY += p.M[i] * p.VY[i]
+		e.MomZ += p.M[i] * p.VZ[i]
+		e.Mass += p.M[i]
+	}
+	return e
+}
+
+// MachRMS returns the root-mean-square Mach number of the particle set,
+// the control quantity for subsonic turbulence runs.
+func (s *State) MachRMS() float64 {
+	p := s.P
+	sum := 0.0
+	for i := 0; i < p.N; i++ {
+		if p.C[i] <= 0 {
+			continue
+		}
+		v2 := p.VX[i]*p.VX[i] + p.VY[i]*p.VY[i] + p.VZ[i]*p.VZ[i]
+		m := math.Sqrt(v2) / p.C[i]
+		sum += m * m
+	}
+	return math.Sqrt(sum / float64(p.N))
+}

@@ -1,0 +1,186 @@
+// Package textplot renders the experiment figures as plain-text charts:
+// horizontal bar charts for breakdowns (Figs. 2, 4, 5), grouped series
+// tables for frequency sweeps (Figs. 6-8), and time-series line plots for
+// traces (Fig. 9). Output is deterministic and columnar so tests can assert
+// against it and diffs stay readable.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Annotation is appended after the value (e.g. "MJ", "%").
+	Annotation string
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteString("\n")
+	}
+	for _, b := range bars {
+		n := 0
+		if maxV > 0 {
+			n = int(b.Value / maxV * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %.4g %s\n",
+			maxLabel, b.Label, strings.Repeat("#", n), strings.Repeat(" ", width-n), b.Value, b.Annotation)
+	}
+	return sb.String()
+}
+
+// Series is one named line of a multi-series table/plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// SeriesTable renders columns (one per x value) against multiple series —
+// the format used for the frequency-sweep figures.
+func SeriesTable(title string, xLabel string, xs []string, series []Series) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteString("\n")
+	}
+	nameW := len(xLabel)
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", nameW+2, xLabel)
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%10s", x)
+	}
+	sb.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-*s", nameW+2, s.Name)
+		for i := range xs {
+			if i < len(s.Values) {
+				fmt.Fprintf(&sb, "%10.4f", s.Values[i])
+			} else {
+				fmt.Fprintf(&sb, "%10s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// LinePlot renders a time series as an ASCII plot with the given character
+// grid dimensions; used for the Fig. 9 DVFS frequency trace.
+func LinePlot(title string, xs, ys []float64, width, height int) string {
+	if len(xs) != len(ys) {
+		panic("textplot: xs/ys length mismatch")
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteString("\n")
+	}
+	if len(xs) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if width <= 0 {
+		width = 80
+	}
+	if height <= 0 {
+		height = 16
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+		r := int((ys[i] - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-r][c] = '*'
+	}
+	for r, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%9.1f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&sb, "%9s  %s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "%9s  %-*.3g%*.3g\n", "", width/2, minX, width-width/2, maxX)
+	return sb.String()
+}
+
+// PercentStack renders a 100% stacked bar (device breakdown style).
+func PercentStack(title string, parts []Bar, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	total := 0.0
+	for _, p := range parts {
+		total += p.Value
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteString("\n")
+	}
+	if total <= 0 {
+		sb.WriteString("(empty)\n")
+		return sb.String()
+	}
+	glyphs := []byte{'#', '=', '+', '.', '~', 'o', '%', '@'}
+	bar := make([]byte, 0, width)
+	for i, p := range parts {
+		n := int(p.Value/total*float64(width) + 0.5)
+		if len(bar)+n > width {
+			n = width - len(bar)
+		}
+		for j := 0; j < n; j++ {
+			bar = append(bar, glyphs[i%len(glyphs)])
+		}
+	}
+	for len(bar) < width {
+		bar = append(bar, ' ')
+	}
+	fmt.Fprintf(&sb, "[%s]\n", string(bar))
+	for i, p := range parts {
+		fmt.Fprintf(&sb, "  %c %-14s %6.2f%% (%.4g %s)\n",
+			glyphs[i%len(glyphs)], p.Label, 100*p.Value/total, p.Value, p.Annotation)
+	}
+	return sb.String()
+}

@@ -1,0 +1,114 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "long-label", Value: 10, Annotation: "J"},
+		{Label: "x", Value: 5, Annotation: "J"},
+	}, 20)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	// The max bar is full width; the half bar is half width.
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	if full != 20 {
+		t.Errorf("max bar %d chars, want 20", full)
+	}
+	if half != 10 {
+		t.Errorf("half bar %d chars, want 10", half)
+	}
+	if !strings.Contains(lines[1], "10 J") {
+		t.Errorf("value/annotation missing: %q", lines[1])
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "a", Value: 0}}, 10)
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	out := SeriesTable("tbl", "MHz", []string{"1410", "1005"}, []Series{
+		{Name: "time", Values: []float64{1, 1.16}},
+		{Name: "energy", Values: []float64{1}}, // short row
+	})
+	if !strings.Contains(out, "1410") || !strings.Contains(out, "1.1600") {
+		t.Errorf("table:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing-value placeholder absent")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 10, 5, 10}
+	out := LinePlot("plot", xs, ys, 40, 8)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "*") {
+		t.Errorf("plot:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + height rows + axis + labels
+	if len(lines) != 1+8+2 {
+		t.Errorf("plot has %d lines", len(lines))
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("p", nil, nil, 10, 5)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestLinePlotMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched xs/ys did not panic")
+		}
+	}()
+	LinePlot("p", []float64{1}, []float64{1, 2}, 10, 5)
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	out := LinePlot("flat", []float64{0, 1}, []float64{5, 5}, 10, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series lost its points")
+	}
+}
+
+func TestPercentStack(t *testing.T) {
+	out := PercentStack("stack", []Bar{
+		{Label: "GPU", Value: 75, Annotation: "J"},
+		{Label: "CPU", Value: 25, Annotation: "J"},
+	}, 40)
+	if !strings.Contains(out, "75.00%") || !strings.Contains(out, "25.00%") {
+		t.Errorf("stack:\n%s", out)
+	}
+	// Bar line has exactly `width` glyph cells inside the brackets.
+	lines := strings.Split(out, "\n")
+	barLine := lines[1]
+	inner := barLine[strings.Index(barLine, "[")+1 : strings.Index(barLine, "]")]
+	if len(inner) != 40 {
+		t.Errorf("bar width %d, want 40", len(inner))
+	}
+}
+
+func TestPercentStackEmpty(t *testing.T) {
+	out := PercentStack("s", nil, 10)
+	if !strings.Contains(out, "empty") {
+		t.Error("empty stack should say so")
+	}
+}

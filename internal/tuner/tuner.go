@@ -1,0 +1,252 @@
+// Package tuner reimplements the KernelTuner workflow the paper uses in
+// §III-C: run one GPU kernel repeatedly over a search space of tunable
+// parameters — here the device-wise GPU compute frequency — measuring
+// time-to-solution and energy, and pick the configuration that optimizes a
+// chosen objective (EDP by default).
+//
+// The entry point mirrors KernelTuner's tune_kernel(kernel_name,
+// kernel_source, problem_size, params): the kernel "source" is a
+// gpusim.KernelDesc generator, the problem size fixes the work items, and
+// params carries the candidate frequency list.
+package tuner
+
+import (
+	"fmt"
+	"sort"
+
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/rng"
+)
+
+// Objective scores one measured configuration; lower is better.
+type Objective func(timeS, energyJ float64) float64
+
+// Built-in objectives.
+var (
+	// TimeToSolution minimizes kernel duration.
+	TimeToSolution Objective = func(t, _ float64) float64 { return t }
+	// EnergyToSolution minimizes kernel energy.
+	EnergyToSolution Objective = func(_, e float64) float64 { return e }
+	// EDP minimizes the energy-delay product, the paper's tuning metric.
+	EDP Objective = func(t, e float64) float64 { return t * e }
+	// ED2P minimizes energy × delay², biased further toward performance.
+	ED2P Objective = func(t, e float64) float64 { return t * t * e }
+)
+
+// StrategyKind selects the search strategy, as KernelTuner's `strategy=`.
+type StrategyKind string
+
+// Search strategies.
+const (
+	// BruteForce evaluates the entire search space (KernelTuner's default).
+	BruteForce StrategyKind = "brute_force"
+	// RandomSample evaluates a random subset of the space.
+	RandomSample StrategyKind = "random_sample"
+	// HillClimb starts at the maximum clock and walks downhill greedily.
+	HillClimb StrategyKind = "greedy_ils"
+)
+
+// Params is the tunable-parameter dictionary. Frequency is the only
+// device-wise parameter the paper tunes; the struct leaves room for the
+// usual kernel parameters without implementing dead code.
+type Params struct {
+	// FrequenciesMHz is the candidate application-clock list. Empty means
+	// all supported clocks in [MinMHz, MaxMHz].
+	FrequenciesMHz []int
+	// MinMHz/MaxMHz bound the default candidate list (the paper uses
+	// 1005–1410 MHz, having found lower clocks unprofitable).
+	MinMHz, MaxMHz int
+}
+
+// Config configures a tuning session.
+type Config struct {
+	Spec      gpusim.Spec
+	Params    Params
+	Objective Objective
+	Strategy  StrategyKind
+	// Iterations is the number of times each configuration is measured
+	// (KernelTuner benchmarks each configuration several times); the
+	// simulated device is deterministic, so this mainly exercises the
+	// averaging path. Default 3.
+	Iterations int
+	// SampleFraction for RandomSample (default 0.5).
+	SampleFraction float64
+	// Seed for RandomSample and measurement noise.
+	Seed uint64
+	// NoiseRel injects relative Gaussian measurement noise (e.g. 0.02 for
+	// 2%) into each time/energy sample, modeling the run-to-run variation
+	// real KernelTuner measurements face; Iterations averages it out.
+	NoiseRel float64
+}
+
+// Measurement is one evaluated configuration.
+type Measurement struct {
+	MHz     int
+	TimeS   float64
+	EnergyJ float64
+	Score   float64
+}
+
+// Result is the outcome of TuneKernel.
+type Result struct {
+	KernelName string
+	Best       Measurement
+	// All contains every evaluated configuration, sorted by descending MHz
+	// (the Fig. 2 table rows).
+	All []Measurement
+	// Evaluations counts device measurements performed.
+	Evaluations int
+}
+
+// candidates resolves the candidate frequency list.
+func (c Config) candidates() []int {
+	if len(c.Params.FrequenciesMHz) > 0 {
+		out := append([]int(nil), c.Params.FrequenciesMHz...)
+		sort.Sort(sort.Reverse(sort.IntSlice(out)))
+		return out
+	}
+	min, max := c.Params.MinMHz, c.Params.MaxMHz
+	if max == 0 {
+		max = c.Spec.MaxSMClockMHz
+	}
+	if min == 0 {
+		min = c.Spec.MinSMClockMHz
+	}
+	var out []int
+	for _, f := range c.Spec.SupportedClocksMHz() {
+		if f >= min && f <= max {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// measure runs the kernel at a locked clock on a fresh device and returns
+// the averaged time and energy, with optional per-sample measurement noise.
+func measure(spec gpusim.Spec, kernel gpusim.KernelDesc, mhz, iterations int, noiseRel float64, noise *rng.Rand) Measurement {
+	dev := gpusim.NewDevice(spec, 0)
+	if _, err := dev.SetApplicationClocks(0, mhz); err != nil {
+		panic(fmt.Sprintf("tuner: %v", err))
+	}
+	var timeS, energy float64
+	for i := 0; i < iterations; i++ {
+		e0 := dev.EnergyJ()
+		dt := dev.Execute(kernel)
+		de := dev.EnergyJ() - e0
+		if noiseRel > 0 && noise != nil {
+			dt *= 1 + noiseRel*noise.Norm()
+			de *= 1 + noiseRel*noise.Norm()
+		}
+		timeS += dt
+		energy += de
+	}
+	n := float64(iterations)
+	return Measurement{MHz: mhz, TimeS: timeS / n, EnergyJ: energy / n}
+}
+
+// TuneKernel searches the frequency space for the kernel's best
+// configuration under the configured objective.
+func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Result, error) {
+	if cfg.Objective == nil {
+		cfg.Objective = EDP
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 3
+	}
+	if cfg.Strategy == "" {
+		cfg.Strategy = BruteForce
+	}
+	cands := cfg.candidates()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("tuner: empty frequency search space")
+	}
+	kernel.Name = kernelName
+
+	res := &Result{KernelName: kernelName}
+	var noise *rng.Rand
+	if cfg.NoiseRel > 0 {
+		noise = rng.New(cfg.Seed + 0x9E37)
+	}
+	eval := func(mhz int) Measurement {
+		m := measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noise)
+		m.Score = cfg.Objective(m.TimeS, m.EnergyJ)
+		res.Evaluations++
+		return m
+	}
+
+	switch cfg.Strategy {
+	case BruteForce:
+		for _, f := range cands {
+			res.All = append(res.All, eval(f))
+		}
+	case RandomSample:
+		frac := cfg.SampleFraction
+		if frac <= 0 || frac > 1 {
+			frac = 0.5
+		}
+		n := int(float64(len(cands))*frac + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		r := rng.New(cfg.Seed + 1)
+		perm := r.Perm(len(cands))
+		picked := perm[:n]
+		sort.Sort(sort.Reverse(sort.IntSlice(picked)))
+		for _, i := range picked {
+			res.All = append(res.All, eval(cands[i]))
+		}
+	case HillClimb:
+		// Walk down from the maximum clock while the objective improves.
+		i := 0
+		cur := eval(cands[i])
+		res.All = append(res.All, cur)
+		for i+1 < len(cands) {
+			next := eval(cands[i+1])
+			res.All = append(res.All, next)
+			if next.Score >= cur.Score {
+				break
+			}
+			cur = next
+			i++
+		}
+	default:
+		return nil, fmt.Errorf("tuner: unknown strategy %q", cfg.Strategy)
+	}
+
+	if len(res.All) == 0 {
+		return nil, fmt.Errorf("tuner: no configurations evaluated")
+	}
+	best := res.All[0]
+	for _, m := range res.All[1:] {
+		if m.Score < best.Score {
+			best = m
+		}
+	}
+	res.Best = best
+	// Keep All sorted by descending frequency for reporting.
+	sort.Slice(res.All, func(a, b int) bool { return res.All[a].MHz > res.All[b].MHz })
+	return res, nil
+}
+
+// TuneTable tunes every kernel in a named set and returns the
+// function→frequency table that ManDyn consumes, plus the per-kernel
+// results. This is the paper's Fig. 2 workflow: fixed problem size, EDP
+// objective, frequency range 1005–1410 MHz.
+func TuneTable(kernels map[string]gpusim.KernelDesc, cfg Config) (map[string]int, map[string]*Result, error) {
+	table := make(map[string]int, len(kernels))
+	results := make(map[string]*Result, len(kernels))
+	names := make([]string, 0, len(kernels))
+	for n := range kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r, err := TuneKernel(name, kernels[name], cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tuner: %s: %w", name, err)
+		}
+		table[name] = r.Best.MHz
+		results[name] = r
+	}
+	return table, results, nil
+}

@@ -1,0 +1,228 @@
+package tuner
+
+import (
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+func computeBound() gpusim.KernelDesc {
+	return gpusim.KernelDesc{Items: 50e6, FlopsPerItem: 30000, BytesPerItem: 600, EffFactor: 0.5}
+}
+
+func memoryBound() gpusim.KernelDesc {
+	return gpusim.KernelDesc{Items: 50e6, FlopsPerItem: 100, BytesPerItem: 4000, EffFactor: 0.5}
+}
+
+func baseCfg() Config {
+	return Config{
+		Spec:   gpusim.A100PCIE40GB(),
+		Params: Params{MinMHz: 1005, MaxMHz: 1410},
+	}
+}
+
+func TestBruteForceCoversSpace(t *testing.T) {
+	res, err := TuneKernel("k", computeBound(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1005..1410 in 15 MHz steps = 28 clocks.
+	if len(res.All) != 28 {
+		t.Errorf("evaluated %d configurations, want 28", len(res.All))
+	}
+	if res.Evaluations != 28 {
+		t.Errorf("Evaluations = %d", res.Evaluations)
+	}
+	// Results sorted by descending frequency.
+	for i := 1; i < len(res.All); i++ {
+		if res.All[i].MHz >= res.All[i-1].MHz {
+			t.Fatal("All not sorted by descending MHz")
+		}
+	}
+}
+
+func TestBestIsGlobalMinimum(t *testing.T) {
+	res, err := TuneKernel("k", memoryBound(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.All {
+		if m.Score < res.Best.Score {
+			t.Fatalf("Best %v not the minimum (found %v at %d MHz)", res.Best.Score, m.Score, m.MHz)
+		}
+	}
+}
+
+func TestEDPObjectiveSeparatesKernelClasses(t *testing.T) {
+	// The Fig. 2 result: compute-bound kernels tune to high clocks,
+	// memory-bound kernels to low clocks.
+	cb, err := TuneKernel("compute", computeBound(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := TuneKernel("memory", memoryBound(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Best.MHz < 1300 {
+		t.Errorf("compute-bound best %d MHz, want >= 1300", cb.Best.MHz)
+	}
+	if mb.Best.MHz > 1110 {
+		t.Errorf("memory-bound best %d MHz, want <= 1110", mb.Best.MHz)
+	}
+}
+
+func TestTimeObjectivePicksMaxClock(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Objective = TimeToSolution
+	res, err := TuneKernel("k", computeBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.MHz != 1410 {
+		t.Errorf("time objective best %d, want 1410", res.Best.MHz)
+	}
+}
+
+func TestEnergyObjectivePicksLowerClockThanEDP(t *testing.T) {
+	cfgEDP := baseCfg()
+	cfgE := baseCfg()
+	cfgE.Objective = EnergyToSolution
+	k := computeBound()
+	edp, _ := TuneKernel("k", k, cfgEDP)
+	energy, _ := TuneKernel("k", k, cfgE)
+	if energy.Best.MHz > edp.Best.MHz {
+		t.Errorf("energy objective (%d) should tune at or below EDP objective (%d)",
+			energy.Best.MHz, edp.Best.MHz)
+	}
+}
+
+func TestExplicitFrequencyList(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Params = Params{FrequenciesMHz: []int{1410, 1110, 1005}}
+	res, err := TuneKernel("k", memoryBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 3 {
+		t.Errorf("evaluated %d, want 3", len(res.All))
+	}
+}
+
+func TestRandomSampleSubset(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Strategy = RandomSample
+	cfg.SampleFraction = 0.25
+	cfg.Seed = 42
+	res, err := TuneKernel("k", memoryBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != 7 { // 28 * 0.25
+		t.Errorf("sampled %d configurations, want 7", len(res.All))
+	}
+}
+
+func TestHillClimbStopsEarly(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Strategy = HillClimb
+	// Compute-bound kernels have their optimum near the top, so the walk
+	// terminates after a few evaluations.
+	res, err := TuneKernel("k", computeBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations >= 28 {
+		t.Errorf("hill climb evaluated the whole space (%d)", res.Evaluations)
+	}
+	// Its answer must be close to the brute-force answer for this unimodal
+	// objective.
+	bf, _ := TuneKernel("k", computeBound(), baseCfg())
+	if diff := res.Best.MHz - bf.Best.MHz; diff > 30 || diff < -30 {
+		t.Errorf("hill climb best %d vs brute force %d", res.Best.MHz, bf.Best.MHz)
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Strategy = "simulated_annealing"
+	if _, err := TuneKernel("k", computeBound(), cfg); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestEmptySearchSpace(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Params = Params{MinMHz: 2000, MaxMHz: 3000}
+	if _, err := TuneKernel("k", computeBound(), cfg); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestTuneTable(t *testing.T) {
+	kernels := map[string]gpusim.KernelDesc{
+		"compute": computeBound(),
+		"memory":  memoryBound(),
+	}
+	table, results, err := TuneTable(kernels, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 2 || len(results) != 2 {
+		t.Fatalf("table size %d", len(table))
+	}
+	if table["compute"] <= table["memory"] {
+		t.Errorf("table ordering: compute %d should exceed memory %d",
+			table["compute"], table["memory"])
+	}
+}
+
+func TestNoiseRobustness(t *testing.T) {
+	// With realistic measurement noise and several iterations, the tuner's
+	// pick stays close to the noiseless optimum.
+	clean, err := TuneKernel("k", computeBound(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseCfg()
+	cfg.NoiseRel = 0.02
+	cfg.Iterations = 7
+	cfg.Seed = 5
+	noisy, err := TuneKernel("k", computeBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := noisy.Best.MHz - clean.Best.MHz
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 60 {
+		t.Errorf("noisy best %d vs clean %d: drifted more than 4 clock steps", noisy.Best.MHz, clean.Best.MHz)
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	cfg := baseCfg()
+	cfg.NoiseRel = 0.05
+	cfg.Seed = 11
+	a, _ := TuneKernel("k", memoryBound(), cfg)
+	b, _ := TuneKernel("k", memoryBound(), cfg)
+	if a.Best.MHz != b.Best.MHz || a.Best.Score != b.Best.Score {
+		t.Error("same seed produced different noisy tuning results")
+	}
+}
+
+func TestMeasurementFieldsPopulated(t *testing.T) {
+	res, err := TuneKernel("named", computeBound(), baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelName != "named" {
+		t.Error("kernel name lost")
+	}
+	for _, m := range res.All {
+		if m.TimeS <= 0 || m.EnergyJ <= 0 || m.Score <= 0 {
+			t.Fatalf("empty measurement at %d MHz: %+v", m.MHz, m)
+		}
+	}
+}

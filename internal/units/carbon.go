@@ -1,0 +1,61 @@
+package units
+
+import "fmt"
+
+// Carbon accounting: the Astronet roadmap the paper's introduction cites
+// asks researchers to track the environmental cost of their simulations.
+// These helpers convert measured energy into CO2-equivalent emissions under
+// a grid carbon intensity.
+
+// CarbonIntensity is grid emission intensity in gCO2e per kWh.
+type CarbonIntensity float64
+
+// Representative grid intensities (gCO2e/kWh), order-of-magnitude values
+// for the regions hosting the paper's systems.
+const (
+	// GridHydro approximates hydro/nuclear-dominated grids (e.g. the
+	// Nordic grid powering LUMI).
+	GridHydro CarbonIntensity = 30
+	// GridSwiss approximates the Swiss mix (CSCS).
+	GridSwiss CarbonIntensity = 100
+	// GridEUAverage approximates the EU average mix.
+	GridEUAverage CarbonIntensity = 250
+	// GridCoalHeavy approximates coal-dominated grids.
+	GridCoalHeavy CarbonIntensity = 700
+)
+
+// joulesPerKWh converts between the SI and billing energy units.
+const joulesPerKWh = 3.6e6
+
+// KWh returns the energy in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) / joulesPerKWh }
+
+// CO2Grams returns the CO2-equivalent emissions of consuming the energy
+// under the given grid intensity.
+func (e Energy) CO2Grams(g CarbonIntensity) float64 {
+	return e.KWh() * float64(g)
+}
+
+// CarbonReport summarizes a run's footprint.
+type CarbonReport struct {
+	EnergyJ   float64
+	Intensity CarbonIntensity
+	KWh       float64
+	CO2Kg     float64
+}
+
+// NewCarbonReport builds the footprint summary for an energy total.
+func NewCarbonReport(e Energy, g CarbonIntensity) CarbonReport {
+	return CarbonReport{
+		EnergyJ:   e.Joules(),
+		Intensity: g,
+		KWh:       e.KWh(),
+		CO2Kg:     e.CO2Grams(g) / 1000,
+	}
+}
+
+// String implements fmt.Stringer.
+func (c CarbonReport) String() string {
+	return fmt.Sprintf("%.2f kWh at %.0f gCO2e/kWh -> %.3f kg CO2e",
+		c.KWh, float64(c.Intensity), c.CO2Kg)
+}

@@ -1,0 +1,98 @@
+// Package units defines the physical quantities and unit conventions used
+// throughout the library.
+//
+// All simulated hardware state is kept in SI units: seconds for (virtual)
+// time, joules for energy, watts for power and hertz for frequencies.
+// GPU clocks are conventionally quoted in MHz, so dedicated helpers convert
+// between Hz-typed values and the MHz integers that appear in user interfaces
+// such as `nvidia-smi` or Slurm's --gpu-freq flag.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy magnitudes.
+const (
+	Joule     Energy = 1
+	Kilojoule Energy = 1e3
+	Megajoule Energy = 1e6
+)
+
+// Joules returns the energy as a plain float64 joule count.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Megajoules returns the energy expressed in MJ.
+func (e Energy) Megajoules() float64 { return float64(e) / 1e6 }
+
+// String formats the energy with an auto-selected magnitude suffix.
+func (e Energy) String() string {
+	switch {
+	case e >= Megajoule || e <= -Megajoule:
+		return fmt.Sprintf("%.3f MJ", e.Megajoules())
+	case e >= Kilojoule || e <= -Kilojoule:
+		return fmt.Sprintf("%.3f kJ", float64(e)/1e3)
+	default:
+		return fmt.Sprintf("%.3f J", float64(e))
+	}
+}
+
+// Power is a power draw in watts.
+type Power float64
+
+// Common power magnitudes.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1e3
+)
+
+// Watts returns the power as a plain float64 watt count.
+func (p Power) Watts() float64 { return float64(p) }
+
+// String formats the power in watts.
+func (p Power) String() string { return fmt.Sprintf("%.1f W", float64(p)) }
+
+// Times integrates the power over a duration, yielding energy.
+func (p Power) Times(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Frequency is a clock frequency in hertz.
+type Frequency float64
+
+// Common frequency magnitudes.
+const (
+	Hertz     Frequency = 1
+	Kilohertz Frequency = 1e3
+	Megahertz Frequency = 1e6
+	Gigahertz Frequency = 1e9
+)
+
+// MHz constructs a Frequency from an integer MHz count, the unit used by GPU
+// management interfaces.
+func MHz(mhz int) Frequency { return Frequency(mhz) * Megahertz }
+
+// MHzI returns the frequency rounded to an integer number of MHz.
+func (f Frequency) MHzI() int { return int(float64(f)/1e6 + 0.5) }
+
+// Hz returns the frequency as a plain float64 hertz count.
+func (f Frequency) Hz() float64 { return float64(f) }
+
+// String formats the frequency in MHz, the conventional GPU clock unit.
+func (f Frequency) String() string { return fmt.Sprintf("%d MHz", f.MHzI()) }
+
+// EnergyDelayProduct combines energy and time-to-solution into the EDP metric
+// used throughout the paper (J·s).
+func EnergyDelayProduct(e Energy, d time.Duration) float64 {
+	return e.Joules() * d.Seconds()
+}
+
+// EnergyDelaySquared is the ED²P metric (J·s²), more latency-biased than EDP.
+func EnergyDelaySquared(e Energy, d time.Duration) float64 {
+	s := d.Seconds()
+	return e.Joules() * s * s
+}

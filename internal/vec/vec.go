@@ -1,0 +1,89 @@
+// Package vec provides the small 3-component vector arithmetic used by the
+// SPH solver and the gravity module.
+//
+// Vectors are value types; all operations return new values so expressions
+// compose without aliasing surprises. The hot loops in internal/sph operate
+// on structure-of-arrays particle storage and only use this package at
+// per-interaction granularity, which the compiler inlines.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// V3 is a three-component vector of float64.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// New constructs a vector from its components.
+func New(x, y, z float64) V3 { return V3{x, y, z} }
+
+// Zero is the zero vector.
+var Zero = V3{}
+
+// Add returns v + w.
+func (v V3) Add(w V3) V3 { return V3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v V3) Sub(w V3) V3 { return V3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v V3) Scale(s float64) V3 { return V3{s * v.X, s * v.Y, s * v.Z} }
+
+// Neg returns -v.
+func (v V3) Neg() V3 { return V3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the scalar product v·w.
+func (v V3) Dot(w V3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v×w.
+func (v V3) Cross(w V3) V3 {
+	return V3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm2 returns |v|².
+func (v V3) Norm2() float64 { return v.Dot(v) }
+
+// Norm returns |v|.
+func (v V3) Norm() float64 { return math.Sqrt(v.Norm2()) }
+
+// Normalized returns v/|v|, or the zero vector if |v| == 0.
+func (v V3) Normalized() V3 {
+	n := v.Norm()
+	if n == 0 {
+		return Zero
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns |v - w|.
+func (v V3) Dist(w V3) float64 { return v.Sub(w).Norm() }
+
+// Mul returns the component-wise product.
+func (v V3) Mul(w V3) V3 { return V3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Min returns the component-wise minimum.
+func (v V3) Min(w V3) V3 {
+	return V3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum.
+func (v V3) Max(w V3) V3 {
+	return V3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v V3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (v V3) String() string { return fmt.Sprintf("(%g, %g, %g)", v.X, v.Y, v.Z) }

@@ -1,0 +1,131 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasicAlgebra(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(4, -5, 6)
+	if got := a.Add(b); got != New(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != New(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Neg(); got != New(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	if got := x.Cross(y); got != New(0, 0, 1) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+	if got := y.Cross(x); got != New(0, 0, -1) {
+		t.Errorf("y cross x = %v, want -z", got)
+	}
+}
+
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		c := a.Cross(b)
+		scale := a.Norm() * b.Norm()
+		if scale == 0 || math.IsInf(scale, 0) {
+			return true
+		}
+		return almost(c.Dot(a)/scale/(1+c.Norm()), 0, 1e-9) &&
+			almost(c.Dot(b)/scale/(1+c.Norm()), 0, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	v := New(3, 4, 0)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	if v.Norm2() != 25 {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	n := v.Normalized()
+	if !almost(n.Norm(), 1, 1e-15) {
+		t.Errorf("Normalized().Norm() = %v", n.Norm())
+	}
+	if Zero.Normalized() != Zero {
+		t.Error("normalizing zero should give zero")
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := New(1, 1, 1).Dist(New(1, 1, 2)); d != 1 {
+		t.Errorf("Dist = %v", d)
+	}
+}
+
+func TestMinMaxMul(t *testing.T) {
+	a := New(1, 5, -2)
+	b := New(3, 2, -4)
+	if got := a.Min(b); got != New(1, 2, -4) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != New(3, 5, -2) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Mul(b); got != New(3, 10, 8) {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestLagrangeIdentityProperty(t *testing.T) {
+	// |a x b|^2 + (a.b)^2 == |a|^2 |b|^2
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		lhs := a.Cross(b).Norm2() + a.Dot(b)*a.Dot(b)
+		rhs := a.Norm2() * b.Norm2()
+		if math.IsInf(lhs, 0) || math.IsNaN(lhs) || rhs == 0 {
+			return true
+		}
+		return almost(lhs/rhs, 1, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String() = %q", got)
+	}
+}

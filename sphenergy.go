@@ -1,0 +1,142 @@
+// Package sphenergy is the public facade of the library: instrumented
+// SPH-EXA-style astrophysics simulations with application-level energy
+// measurement (PMT / Cray pm_counters / Slurm accounting) and static or
+// dynamic GPU frequency scaling, reproducing Simsek, Piccinali & Ciorba,
+// "Increasing Energy Efficiency of Astrophysics Simulations Through GPU
+// Frequency Scaling" (SC 2024).
+//
+// # Quick start
+//
+//	cfg := sphenergy.Config{
+//		System:           sphenergy.MiniHPC(),
+//		Ranks:            1,
+//		Sim:              sphenergy.Turbulence,
+//		ParticlesPerRank: 450 * 450 * 450,
+//		Steps:            20,
+//	}
+//	res, err := sphenergy.Run(cfg)
+//	// res.Report: per-rank, per-function time and energy
+//	// res.WallTimeS, res.GPUEnergyJ(): headline metrics
+//
+// # Frequency strategies
+//
+// The four policies the paper compares are freqctl strategies:
+//
+//	sphenergy.Baseline()        // application clocks locked at max
+//	sphenergy.StaticMHz(1005)   // static down-scaling
+//	sphenergy.DVFS()            // hardware governor
+//	sphenergy.ManDyn(table)     // per-function clocks (the contribution)
+//
+// A tuned per-function table comes from the KernelTuner-style search in
+// TuneFrequencies.
+//
+// Everything underneath — the GPU device model, NVML/ROCm-SMI/RAPL/
+// pm_counters interfaces, the MPI-style rank runtime, the real SPH solver —
+// lives in internal/ packages; this package re-exports the surface a
+// downstream user needs.
+package sphenergy
+
+import (
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/experiments"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/instr"
+	"sphenergy/internal/tuner"
+)
+
+// Config aliases the runner configuration.
+type Config = core.Config
+
+// Result aliases the runner result.
+type Result = core.Result
+
+// Report aliases the instrumentation report.
+type Report = instr.Report
+
+// SimKind selects the workload.
+type SimKind = core.SimKind
+
+// Workloads.
+const (
+	Turbulence = core.Turbulence
+	Evrard     = core.Evrard
+)
+
+// NodeSpec aliases the node architecture description.
+type NodeSpec = cluster.NodeSpec
+
+// Strategy aliases the frequency-control strategy interface.
+type Strategy = freqctl.Strategy
+
+// Run executes an instrumented simulation run.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// LUMIG returns the LUMI-G node architecture of Table I.
+func LUMIG() NodeSpec { return cluster.LUMIG() }
+
+// CSCSA100 returns the CSCS-A100 node architecture of Table I.
+func CSCSA100() NodeSpec { return cluster.CSCSA100() }
+
+// MiniHPC returns the miniHPC node architecture of Table I.
+func MiniHPC() NodeSpec { return cluster.MiniHPC() }
+
+// SystemByName resolves a Table I system by name ("lumi-g", "cscs-a100",
+// "minihpc").
+func SystemByName(name string) (NodeSpec, error) { return cluster.SystemByName(name) }
+
+// Baseline returns a strategy factory locking clocks at the maximum
+// application clock.
+func Baseline() func() Strategy {
+	return func() Strategy { return freqctl.Baseline{} }
+}
+
+// StaticMHz returns a strategy factory locking clocks at a fixed value.
+func StaticMHz(mhz int) func() Strategy {
+	return func() Strategy { return freqctl.Static{MHz: mhz} }
+}
+
+// DVFS returns a strategy factory leaving the hardware governor in control.
+func DVFS() func() Strategy {
+	return func() Strategy { return freqctl.DVFS{} }
+}
+
+// ManDyn returns a strategy factory that switches application clocks per
+// instrumented function using the given function→MHz table — the paper's
+// dynamic approach.
+func ManDyn(table map[string]int) func() Strategy {
+	return func() Strategy { return &freqctl.ManDyn{Table: table} }
+}
+
+// TuneFrequencies runs the KernelTuner-style per-function frequency search
+// (EDP objective, 1005 MHz up to the device maximum) for a simulation's
+// pipeline on a system's GPU, returning the ManDyn table.
+func TuneFrequencies(system NodeSpec, sim SimKind, particlesPerRank float64, ng int) (map[string]int, error) {
+	if ng <= 0 {
+		ng = 150
+	}
+	pipeline, err := core.Pipeline(sim)
+	if err != nil {
+		return nil, err
+	}
+	kernels := make(map[string]gpusim.KernelDesc, len(pipeline))
+	for _, fn := range pipeline {
+		kernels[fn.Name] = fn.Kernel(particlesPerRank, ng, system.GPUSpec.Vendor)
+	}
+	table, _, err := tuner.TuneTable(kernels, tuner.Config{
+		Spec:      system.GPUSpec,
+		Params:    tuner.Params{MinMHz: 1005, MaxMHz: system.GPUSpec.MaxSMClockMHz},
+		Objective: tuner.EDP,
+	})
+	return table, err
+}
+
+// RunExperiment regenerates one of the paper's tables/figures by id
+// ("table1", "fig1".."fig9"); scale 1.0 reproduces the paper's step counts.
+func RunExperiment(id string, scale float64) (interface{ Render() string }, error) {
+	return experiments.Run(id, scale)
+}
+
+// ExperimentNames lists the available experiment ids.
+func ExperimentNames() []string { return experiments.Names() }
