@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples clean
+.PHONY: all build vet test race bench bench-telemetry check experiments examples clean
 
 all: build vet test
+
+# check is the CI gate: static vetting plus the full suite under the race
+# detector (includes the telemetry concurrency tests).
+check: vet race
 
 build:
 	$(GO) build ./...
@@ -20,6 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Telemetry cost: per-primitive ns/op and the end-to-end off/live/trace
+# comparison. Wall clock is noisy on shared machines — compare minimums
+# across the -count runs.
+bench-telemetry:
+	$(GO) test -bench 'SpanRecord|CounterInc|HistogramObserve' -benchmem ./internal/telemetry/
+	$(GO) test -bench TelemetryOverhead -benchtime 300x -count 3 ./internal/core/
 
 # Regenerate every table/figure at the paper's step counts.
 experiments:

@@ -10,6 +10,8 @@
 //	sphexa -sim turbulence -system cscs-a100 -ranks 32 -s 100
 //	sphexa -sim evrard -system lumi-g -ranks 32 -s 100 -report evrard.json
 //	sphexa -sim turbulence -system minihpc -ranks 1 -strategy mandyn
+//	sphexa -sim turbulence -ranks 4 -strategy mandyn -trace-out run.trace.json \
+//	    -metrics-out metrics.json -metrics-addr :9090
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"sphenergy/internal/core"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/report"
+	"sphenergy/internal/telemetry"
 	"sphenergy/internal/units"
 )
 
@@ -39,6 +42,10 @@ func main() {
 		csvOut    = flag.String("csv", "", "write the per-function CSV export to this path")
 		carbon    = flag.String("carbon", "", "report CO2e for a grid: hydro, swiss, eu, coal")
 		quiet     = flag.Bool("q", false, "suppress breakdown output")
+
+		traceOut    = flag.String("trace-out", "", "write the run timeline as Chrome trace_event JSON (open in Perfetto or chrome://tracing)")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics JSON snapshot to this path")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text format on this address at /metrics during the run (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -56,6 +63,21 @@ func main() {
 		ParticlesPerRank: ppr,
 		Steps:            *steps,
 		Ng:               *ng,
+	}
+
+	if *traceOut != "" {
+		cfg.Tracer = telemetry.NewTracer(*ranks)
+		// Mirror rank 0's frequency/power trajectory into the timeline.
+		cfg.Trace, cfg.TraceRank = true, 0
+	}
+	if *metricsOut != "" || *metricsAddr != "" {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(*metricsAddr, cfg.Metrics)
+		fatalIf(err)
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr)
 	}
 
 	switch {
@@ -126,6 +148,14 @@ func main() {
 	if *csvOut != "" {
 		fatalIf(res.Report.WriteCSVFile(*csvOut))
 		fmt.Printf("CSV written to %s\n", *csvOut)
+	}
+	if *traceOut != "" {
+		fatalIf(cfg.Tracer.WriteFile(*traceOut))
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, cfg.Tracer.Len())
+	}
+	if *metricsOut != "" {
+		fatalIf(cfg.Metrics.WriteFile(*metricsOut))
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sphenergy/internal/nvml"
 	"sphenergy/internal/pmt"
 	"sphenergy/internal/rsmi"
+	"sphenergy/internal/telemetry"
 )
 
 // Config describes one instrumented simulation run at paper scale.
@@ -54,6 +55,15 @@ type Config struct {
 	// KeepSeries records every function's per-call time in the report
 	// (per-step timelines for variability analysis).
 	KeepSeries bool
+	// Tracer, when non-nil, receives the run's span timeline — steps,
+	// instrumented functions, kernel launches, frequency changes, MPI
+	// waits — exportable as Chrome trace_event JSON. Nil disables span
+	// recording at the cost of one nil check per hook.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives the run's counters, gauges and
+	// histograms (kernel_launches_total, gpu_clock_mhz, step_energy_j, ...)
+	// for Prometheus exposition or JSON snapshots. Nil disables metrics.
+	Metrics *telemetry.Registry
 }
 
 // Defaulted returns the config with defaults filled in.
@@ -190,6 +200,12 @@ func Run(cfg Config) (*Result, error) {
 	system := cluster.NewSystem(cfg.System, nodes)
 	net := mpisim.DefaultNetwork(system.RanksPerNode())
 	world := mpisim.NewWorld(cfg.Ranks, net, cfg.Seed)
+	defer world.Close()
+
+	rt := newRunTelemetry(cfg)
+	if rec := rt.spanRecorder(); rec != nil {
+		world.SetRecorder(rec)
+	}
 
 	ranks := make([]*rankCtx, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -210,12 +226,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 		rc.profile.SeriesEnabled = cfg.KeepSeries
 		rc.sensor = sensorFor(dev)
+		rt.instrumentRank(rc, r)
 		ranks[r] = rc
 	}
 
 	var trace *gpusim.Trace
 	if cfg.Trace && cfg.TraceRank >= 0 && cfg.TraceRank < cfg.Ranks {
 		trace = ranks[cfg.TraceRank].dev.EnableTrace()
+		rt.attachTraceSink(trace, cfg.TraceRank)
 	}
 
 	// Job setup phase: launch, allocation, host→device transfer. GPUs are
@@ -237,6 +255,10 @@ func Run(cfg Config) (*Result, error) {
 			setupOther += n.Aux.EnergyJ()
 		}
 		setupJ = setupGPU + setupCPU + setupMem + setupOther
+		if rt != nil {
+			rt.tr.Complete(telemetry.GlobalTrack, "phase", "job-setup", 0, cfg.SetupS,
+				telemetry.Float("energy_j", setupJ))
+		}
 	}
 
 	// Strategy setup (once per rank, before the loop — the paper's
@@ -263,7 +285,12 @@ func Run(cfg Config) (*Result, error) {
 		strategyErrMu.Unlock()
 	}
 
+	// Step telemetry reuses bounds the loop computes anyway: the step span
+	// runs from the previous step's boundary, and its energy accumulates
+	// from the per-rank attribution below — no extra clock or meter reads.
+	stepStart := t0
 	for step := 0; step < cfg.Steps; step++ {
+		stepJ := 0.0
 		for _, fn := range pipeline {
 			commS := commTime(fn, cfg, net)
 			hostS, known := hostOverheads[fn.Name]
@@ -287,6 +314,7 @@ func Run(cfg Config) (*Result, error) {
 				return rc.dev.Execute(desc)
 			})
 			waits := world.Synchronize(durs)
+			rt.phaseWaits(waits)
 
 			// Post-kernel phase: barrier wait + communication + host-side
 			// serial work, during which the GPU idles.
@@ -325,9 +353,19 @@ func Run(cfg Config) (*Result, error) {
 				memJ := (system.Nodes[ni].Mem.Meter.EnergyJ() - memBefore[ni]) / rpn
 				otherJ := (system.Nodes[ni].Aux.EnergyJ() - auxBefore[ni]) / rpn
 				rc.profile.Record(fn.Name, phaseS, gpuJ, cpuJ, memJ, otherJ, commS)
+				if rt != nil {
+					rt.functionSpan(r, fn, phaseStart, phaseS, gpuJ, commS)
+					stepJ += gpuJ + cpuJ + memJ + otherJ
+				}
 			}
+			rt.phaseTailSpans(fn, phaseEnd, commS, hostS)
 		}
-		stepBounds = append(stepBounds, world.MaxClock())
+		bound := world.MaxClock()
+		stepBounds = append(stepBounds, bound)
+		if rt != nil {
+			rt.stepSpan(step, stepStart, bound, stepJ)
+			stepStart = bound
+		}
 		if strategyErr != nil {
 			return nil, strategyErr
 		}
@@ -358,6 +396,10 @@ func Run(cfg Config) (*Result, error) {
 	report.MemEnergyJ -= setupMem
 	report.OtherEnergyJ -= setupOther
 	report.TotalEnergyJ = report.GPUEnergyJ + report.CPUEnergyJ + report.MemEnergyJ + report.OtherEnergyJ
+	rt.finish(wall, &reportTotals{
+		gpuJ: report.GPUEnergyJ, cpuJ: report.CPUEnergyJ,
+		memJ: report.MemEnergyJ, otherJ: report.OtherEnergyJ,
+	})
 
 	return &Result{
 		Report:          report,

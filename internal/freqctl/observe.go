@@ -1,0 +1,93 @@
+package freqctl
+
+import "time"
+
+// DecisionSink receives the outcome of each strategy Apply call — the
+// telemetry layer turns these into trace events without the strategies
+// themselves knowing about observability.
+type DecisionSink interface {
+	// StrategyDecision reports one Apply: the function about to run, the
+	// clock the strategy requested and the clock the device applied.
+	// requestedMHz is -1 when the strategy left the clock alone (the
+	// redundant-switch elision ManDyn performs).
+	StrategyDecision(function string, requestedMHz, appliedMHz int)
+}
+
+// Traced wraps a Strategy, reporting every Apply decision to the sink. The
+// wrapped strategy is unaware: Traced intercepts the Setter to capture what
+// the strategy actually did. Like every Strategy, a Traced serves one rank:
+// Apply reuses an internal capture buffer and must not be called
+// concurrently on the same instance.
+type Traced struct {
+	Inner Strategy
+	Sink  DecisionSink
+
+	cap captureSetter // reused across Apply calls to keep the hot path allocation-free
+}
+
+// Name implements Strategy.
+func (t *Traced) Name() string { return t.Inner.Name() }
+
+// Setup implements Strategy.
+func (t *Traced) Setup(s Setter) error { return t.Inner.Setup(s) }
+
+// Apply implements Strategy, capturing the clock decision.
+func (t *Traced) Apply(s Setter, function string) error {
+	t.cap = captureSetter{Setter: s, requested: -1, applied: -1}
+	err := t.Inner.Apply(&t.cap, function)
+	if t.Sink != nil {
+		t.Sink.StrategyDecision(function, t.cap.requested, t.cap.applied)
+	}
+	return err
+}
+
+// captureSetter records the last SetSMClock call passing through it.
+type captureSetter struct {
+	Setter
+	requested, applied int
+}
+
+func (c *captureSetter) SetSMClock(mhz int) (int, error) {
+	c.requested = mhz
+	applied, err := c.Setter.SetSMClock(mhz)
+	c.applied = applied
+	return applied, err
+}
+
+// InstrumentedSetter wraps a Setter, timing every clock-control operation
+// with the wall clock and reporting it through the hooks — the data behind
+// the freq_switches_total and freq_switch_latency_s metrics. Nil hooks are
+// skipped; reads (MaxSMClock) pass through unobserved.
+type InstrumentedSetter struct {
+	Inner   Setter
+	OnSet   func(requestedMHz, appliedMHz int, latencyS float64, err error)
+	OnReset func(latencyS float64, err error)
+}
+
+// SetSMClock implements Setter.
+func (i InstrumentedSetter) SetSMClock(mhz int) (int, error) {
+	start := time.Now()
+	applied, err := i.Inner.SetSMClock(mhz)
+	if i.OnSet != nil {
+		i.OnSet(mhz, applied, time.Since(start).Seconds(), err)
+	}
+	return applied, err
+}
+
+// ResetClocks implements Setter.
+func (i InstrumentedSetter) ResetClocks() error {
+	start := time.Now()
+	err := i.Inner.ResetClocks()
+	if i.OnReset != nil {
+		i.OnReset(time.Since(start).Seconds(), err)
+	}
+	return err
+}
+
+// MaxSMClock implements Setter.
+func (i InstrumentedSetter) MaxSMClock() int { return i.Inner.MaxSMClock() }
+
+// SetPowerLimitW implements Setter.
+func (i InstrumentedSetter) SetPowerLimitW(watts float64) error {
+	return i.Inner.SetPowerLimitW(watts)
+}

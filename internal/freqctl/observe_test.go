@@ -1,0 +1,110 @@
+package freqctl
+
+import (
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+// decisionLog collects StrategyDecision callbacks.
+type decisionLog struct {
+	fns       []string
+	requested []int
+	applied   []int
+}
+
+func (d *decisionLog) StrategyDecision(fn string, requestedMHz, appliedMHz int) {
+	d.fns = append(d.fns, fn)
+	d.requested = append(d.requested, requestedMHz)
+	d.applied = append(d.applied, appliedMHz)
+}
+
+func testSetter(t *testing.T) Setter {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.A100SXM480GB(), 0)
+	s, err := SetterFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTracedReportsManDynDecisions(t *testing.T) {
+	s := testSetter(t)
+	log := &decisionLog{}
+	st := &Traced{
+		Inner: &ManDyn{Table: map[string]int{"iad": 1005}},
+		Sink:  log,
+	}
+	if err := st.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(s, "iad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(s, "iad"); err != nil { // same clock: no switch
+		t.Fatal(err)
+	}
+	if err := st.Apply(s, "momentum"); err != nil { // back to default (max)
+		t.Fatal(err)
+	}
+	if len(log.fns) != 3 {
+		t.Fatalf("got %d decisions, want 3", len(log.fns))
+	}
+	if log.requested[0] != 1005 || log.applied[0] != 1005 {
+		t.Errorf("first decision %d/%d, want 1005/1005", log.requested[0], log.applied[0])
+	}
+	// Second apply left the clock alone — ManDyn's redundant-switch elision.
+	if log.requested[1] != -1 {
+		t.Errorf("elided decision requested = %d, want -1", log.requested[1])
+	}
+	if log.requested[2] != 1410 {
+		t.Errorf("default decision requested = %d, want 1410", log.requested[2])
+	}
+	if st.Name() != "mandyn" {
+		t.Errorf("Name = %q", st.Name())
+	}
+}
+
+func TestInstrumentedSetterHooks(t *testing.T) {
+	s := testSetter(t)
+	var sets, resets int
+	var lastRequested, lastApplied int
+	is := InstrumentedSetter{
+		Inner: s,
+		OnSet: func(requestedMHz, appliedMHz int, latencyS float64, err error) {
+			sets++
+			lastRequested, lastApplied = requestedMHz, appliedMHz
+			if latencyS < 0 {
+				t.Error("negative latency")
+			}
+			if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+		},
+		OnReset: func(latencyS float64, err error) { resets++ },
+	}
+	if _, err := is.SetSMClock(1200); err != nil {
+		t.Fatal(err)
+	}
+	if err := is.ResetClocks(); err != nil {
+		t.Fatal(err)
+	}
+	if sets != 1 || resets != 1 {
+		t.Errorf("sets=%d resets=%d", sets, resets)
+	}
+	if lastRequested != 1200 || lastApplied != 1200 {
+		t.Errorf("hook saw %d/%d", lastRequested, lastApplied)
+	}
+	if is.MaxSMClock() != 1410 {
+		t.Errorf("MaxSMClock = %d", is.MaxSMClock())
+	}
+	// Nil hooks must be safe.
+	bare := InstrumentedSetter{Inner: s}
+	if _, err := bare.SetSMClock(1005); err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.ResetClocks(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,6 +44,28 @@ type Device struct {
 
 	trace      *Trace
 	kernelsRun int64
+	obs        Observer
+}
+
+// Observer receives device events for external telemetry: completed kernel
+// launches and application-clock changes. Callbacks run on the goroutine
+// driving the device, after the device releases its lock, so observers may
+// query the device but must be cheap — they sit on the execution path.
+type Observer interface {
+	// KernelLaunched reports one completed kernel batch: its virtual start
+	// time, duration, the effective SM clock it ran at, and the energy it
+	// consumed.
+	KernelLaunched(name string, startS, durS float64, clockMHz int, energyJ float64)
+	// ClockChanged reports an application-clock operation ("set-app-clocks"
+	// or "reset-app-clocks") and the clock in effect afterwards.
+	ClockChanged(timeS float64, clockMHz int, cause string)
+}
+
+// SetObserver installs the telemetry observer; nil removes it.
+func (d *Device) SetObserver(o Observer) {
+	d.mu.Lock()
+	d.obs = o
+	d.mu.Unlock()
 }
 
 // NewDevice creates a device with the given spec and index (the position of
@@ -136,10 +158,10 @@ func (d *Device) EnableTrace() *Trace {
 // interface fidelity; it must match the device's fixed memory clock).
 func (d *Device) SetApplicationClocks(memMHz, smMHz int) (int, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if memMHz != 0 {
 		snapped := d.spec.NearestMemClock(memMHz)
 		if abs(snapped-memMHz) > d.spec.MemClockMHz/10 {
+			d.mu.Unlock()
 			return 0, fmt.Errorf("gpusim: unsupported memory clock %d MHz (supported: %v)", memMHz, d.spec.MemClocksMHz())
 		}
 		d.memMHz = snapped
@@ -148,6 +170,11 @@ func (d *Device) SetApplicationClocks(memMHz, smMHz int) (int, error) {
 	d.mode = ModeLocked
 	d.lockedMHz = applied
 	d.tracePoint("set-app-clocks")
+	obs, now := d.obs, d.now
+	d.mu.Unlock()
+	if obs != nil {
+		obs.ClockChanged(now, applied, "set-app-clocks")
+	}
 	return applied, nil
 }
 
@@ -155,10 +182,14 @@ func (d *Device) SetApplicationClocks(memMHz, smMHz int) (int, error) {
 // the simulated nvmlDeviceResetApplicationsClocks.
 func (d *Device) ResetApplicationClocks() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.mode = ModeAuto
 	d.gov.current = float64(d.currentClockAutoEntryLocked())
 	d.tracePoint("reset-app-clocks")
+	obs, now, clock := d.obs, d.now, d.currentClockLocked()
+	d.mu.Unlock()
+	if obs != nil {
+		obs.ClockChanged(now, clock, "reset-app-clocks")
+	}
 }
 
 func (d *Device) currentClockAutoEntryLocked() int {
@@ -238,7 +269,6 @@ func (d *Device) power(mhz int, smAct, memAct float64) float64 {
 // integrating energy. It returns the wall (virtual) duration.
 func (d *Device) Execute(k KernelDesc) float64 {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	t := k.timing(d.spec)
 	// A down-scaled memory clock stretches the bandwidth-bound portion and
 	// reduces memory-subsystem power proportionally.
@@ -246,6 +276,7 @@ func (d *Device) Execute(k KernelDesc) float64 {
 		t.flatS /= r
 		t.memActivity *= r
 	}
+	startS, startJ := d.now, d.energyJ
 	var dur float64
 	if d.mode == ModeLocked {
 		// An active power limit derates the effective clock below the
@@ -260,6 +291,11 @@ func (d *Device) Execute(k KernelDesc) float64 {
 	d.busyS += dur
 	d.updateUtilLocked(dur, 1)
 	d.kernelsRun += int64(k.launches())
+	obs, clock, energy := d.obs, d.currentClockLocked(), d.energyJ-startJ
+	d.mu.Unlock()
+	if obs != nil {
+		obs.KernelLaunched(k.Name, startS, dur, clock, energy)
+	}
 	return dur
 }
 

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"encoding/csv"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 )
@@ -15,21 +16,54 @@ type TracePoint struct {
 	Kernel   string // kernel or event label, empty for idle samples
 }
 
+// PointSink receives trace points as they are recorded — the shared-sink
+// path that lets a telemetry tracer mirror the trace without a second lock
+// acquisition inside the trace (the sink runs after the trace releases its
+// own mutex). Sinks must not call back into the Trace.
+type PointSink func(TracePoint)
+
 // Trace records the frequency and power trajectory of a device, the data
-// behind the paper's Fig. 9 DVFS measurement.
+// behind the paper's Fig. 9 DVFS measurement. Device virtual time is
+// monotonic, so points arrive in nondecreasing TimeS order — Window relies
+// on that invariant for its binary search.
 type Trace struct {
 	mu     sync.Mutex
 	points []TracePoint
+	sink   PointSink
 }
 
 // NewTrace creates an empty trace.
 func NewTrace() *Trace { return &Trace{} }
 
-// Add appends a sample.
+// SetSink installs a live forwarding sink; nil removes it. Each point added
+// after this call is passed to the sink outside the trace's lock.
+func (t *Trace) SetSink(s PointSink) {
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
+// Add appends a sample and forwards it to the sink, if any.
 func (t *Trace) Add(p TracePoint) {
 	t.mu.Lock()
 	t.points = append(t.points, p)
+	sink := t.sink
 	t.mu.Unlock()
+	if sink != nil {
+		sink(p)
+	}
+}
+
+// AppendTo replays every recorded point into the sink, in time order. It
+// snapshots under the lock and calls the sink unlocked, so a tracer
+// attached mid-run can backfill history without blocking recording.
+func (t *Trace) AppendTo(sink PointSink) {
+	if sink == nil {
+		return
+	}
+	for _, p := range t.Points() {
+		sink(p)
+	}
 }
 
 // Points returns a copy of the recorded samples in time order.
@@ -67,16 +101,19 @@ func (t *Trace) MinMaxClock() (min, max int) {
 	return
 }
 
-// Window returns the samples with TimeS in [t0, t1).
+// Window returns the samples with TimeS in [t0, t1). Points are
+// time-ordered, so both window edges resolve by binary search instead of a
+// scan over the full trace.
 func (t *Trace) Window(t0, t1 float64) []TracePoint {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []TracePoint
-	for _, p := range t.points {
-		if p.TimeS >= t0 && p.TimeS < t1 {
-			out = append(out, p)
-		}
+	lo := sort.Search(len(t.points), func(i int) bool { return t.points[i].TimeS >= t0 })
+	hi := sort.Search(len(t.points), func(i int) bool { return t.points[i].TimeS >= t1 })
+	if lo >= hi {
+		return nil
 	}
+	out := make([]TracePoint, hi-lo)
+	copy(out, t.points[lo:hi])
 	return out
 }
 

@@ -31,18 +31,77 @@ type FunctionStats struct {
 // TotalJ returns the function's total energy across devices.
 func (f FunctionStats) TotalJ() float64 { return f.GPUJ + f.CPUJ + f.MemJ + f.OtherJ }
 
-// RankProfile holds all function stats of one MPI rank.
+// RankProfile holds all function stats of one MPI rank. Serialization goes
+// through MarshalJSON/UnmarshalJSON, which carry the first-recorded
+// function order explicitly so it survives a write/read round trip.
 type RankProfile struct {
-	Rank      int                       `json:"rank"`
-	Functions map[string]*FunctionStats `json:"functions"`
+	Rank      int
+	Functions map[string]*FunctionStats
 	// Series, when enabled, records the per-call time of every function in
 	// call order — the per-step timeline behind variability analysis and
 	// trace alignment.
-	Series map[string][]float64 `json:"series,omitempty"`
+	Series map[string][]float64
 	// SeriesEnabled turns on per-call recording.
-	SeriesEnabled bool `json:"-"`
+	SeriesEnabled bool
 	order         []string
 	mu            sync.Mutex
+}
+
+// rankProfileJSON is the wire form of RankProfile: the same data plus the
+// recording order, which a Go map cannot preserve on its own.
+type rankProfileJSON struct {
+	Rank          int                       `json:"rank"`
+	FunctionOrder []string                  `json:"function_order,omitempty"`
+	Functions     map[string]*FunctionStats `json:"functions"`
+	Series        map[string][]float64      `json:"series,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *RankProfile) MarshalJSON() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return json.Marshal(rankProfileJSON{
+		Rank:          p.Rank,
+		FunctionOrder: p.order,
+		Functions:     p.Functions,
+		Series:        p.Series,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the recording order
+// from the function_order field. Functions missing from the list (older or
+// hand-edited reports) sort after the listed ones; listed names without
+// stats are dropped.
+func (p *RankProfile) UnmarshalJSON(data []byte) error {
+	var aux rankProfileJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Rank = aux.Rank
+	p.Functions = aux.Functions
+	if p.Functions == nil {
+		p.Functions = map[string]*FunctionStats{}
+	}
+	p.Series = aux.Series
+	p.order = p.order[:0]
+	seen := map[string]bool{}
+	for _, n := range aux.FunctionOrder {
+		if _, ok := p.Functions[n]; ok && !seen[n] {
+			p.order = append(p.order, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range p.Functions {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	p.order = append(p.order, extra...)
+	return nil
 }
 
 // NewRankProfile creates an empty profile for a rank.
@@ -223,23 +282,12 @@ func (r *Report) WriteFile(path string) error {
 	return r.WriteJSON(f)
 }
 
-// ReadReport parses a report written by WriteFile.
+// ReadReport parses a report written by WriteFile. Each rank's function
+// order is restored by RankProfile.UnmarshalJSON.
 func ReadReport(rd io.Reader) (*Report, error) {
 	var r Report
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, fmt.Errorf("instr: decode report: %w", err)
-	}
-	// Rebuild recording order from map keys (sorted) for loaded reports.
-	for _, rp := range r.Ranks {
-		if rp.Functions == nil {
-			rp.Functions = map[string]*FunctionStats{}
-		}
-		var names []string
-		for n := range rp.Functions {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		rp.order = names
 	}
 	return &r, nil
 }

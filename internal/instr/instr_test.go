@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -201,5 +202,73 @@ func TestSeriesSurvivesJSON(t *testing.T) {
 	}
 	if got := back.Ranks[0].Series["fn"]; len(got) != 1 || got[0] != 1.5 {
 		t.Errorf("series lost: %v", got)
+	}
+}
+
+func TestRoundtripPreservesFunctionOrder(t *testing.T) {
+	// Deliberately non-alphabetical recording order: sorting map keys on
+	// load would come back as [density, iad, momentumEnergy].
+	p := NewRankProfile(0)
+	for _, fn := range []string{"momentumEnergy", "density", "iad"} {
+		p.Record(fn, 1, 10, 1, 1, 1, 0.1)
+	}
+	r := &Report{Simulation: "turbulence", Ranks: []*RankProfile{p}}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"function_order"`)) {
+		t.Error("serialized report has no function_order field")
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Ranks[0].FunctionNames()
+	want := []string{"momentumEnergy", "density", "iad"}
+	if len(got) != len(want) {
+		t.Fatalf("FunctionNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FunctionNames = %v, want %v (first-recorded order lost)", got, want)
+		}
+	}
+
+	// A second round trip must be stable.
+	buf.Reset()
+	if err := back.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Ranks[0].FunctionNames(); got[0] != "momentumEnergy" || got[2] != "iad" {
+		t.Errorf("second round trip reordered: %v", got)
+	}
+}
+
+func TestReadReportWithoutOrderFallsBackSorted(t *testing.T) {
+	// Reports from before function_order existed (or hand-edited ones)
+	// carry only the map; names come back sorted, and stale order entries
+	// are dropped.
+	raw := `{"ranks":[{"rank":0,
+		"function_order":["iad","ghost"],
+		"functions":{
+			"iad":{"name":"iad","calls":1,"time_s":1},
+			"density":{"name":"density","calls":1,"time_s":2},
+			"momentumEnergy":{"name":"momentumEnergy","calls":1,"time_s":3}}}]}`
+	back, err := ReadReport(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Ranks[0].FunctionNames()
+	want := []string{"iad", "density", "momentumEnergy"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FunctionNames = %v, want %v (listed first, unlisted sorted, stale dropped)", got, want)
+		}
 	}
 }

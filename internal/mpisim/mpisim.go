@@ -101,14 +101,32 @@ func (n Network) HaloExchangeS(haloBytes float64, ranks int) float64 {
 	return n.LatencyS*neighbors + haloBytes*neighbors/n.BandwidthBs
 }
 
+// SpanRecorder receives per-rank synchronization spans from the world —
+// the collective-wait timeline of the run. telemetry.Tracer implements it;
+// keeping the interface local leaves mpisim dependency-free.
+type SpanRecorder interface {
+	RecordSpan(rank int, category, name string, startS, durS float64)
+}
+
 // World is a set of ranks executing in lockstep phases.
 type World struct {
 	Size    int
 	Network Network
 
-	clocks []float64 // virtual time per rank
-	jitter []*rng.Rand
-	mu     sync.Mutex
+	clocks   []float64 // virtual time per rank
+	jitter   []*rng.Rand
+	recorder SpanRecorder
+	mu       sync.Mutex
+
+	workers sync.Once
+	work    []chan workItem
+}
+
+// workItem is one phase dispatched to a rank worker.
+type workItem struct {
+	fn   func(rank int) float64
+	durs []float64
+	wg   *sync.WaitGroup
 }
 
 // NewWorld creates a world of `size` ranks with per-rank deterministic
@@ -148,26 +166,64 @@ func (w *World) Jitter(r int, spread float64) float64 {
 // Execute runs fn(rank) concurrently on all ranks and returns each rank's
 // reported duration. It does not touch the virtual clocks; callers combine
 // the durations with Synchronize.
+//
+// Ranks run on persistent worker goroutines (one per rank, started on first
+// use), mirroring how MPI ranks are long-lived processes. Reusing workers
+// keeps per-phase cost at two channel operations instead of a goroutine
+// spawn, and lets each rank's stack grow once and stay grown — fresh
+// goroutines would re-pay the stack copy every phase once instrumentation
+// deepens the call path. Call Close when done with the world.
 func (w *World) Execute(fn func(rank int) float64) []float64 {
+	w.workers.Do(w.startWorkers)
 	durs := make([]float64, w.Size)
 	var wg sync.WaitGroup
+	wg.Add(w.Size)
 	for r := 0; r < w.Size; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			durs[r] = fn(r)
-		}(r)
+		w.work[r] <- workItem{fn: fn, durs: durs, wg: &wg}
 	}
 	wg.Wait()
 	return durs
 }
 
+// startWorkers launches the per-rank worker goroutines.
+func (w *World) startWorkers() {
+	w.work = make([]chan workItem, w.Size)
+	for r := 0; r < w.Size; r++ {
+		ch := make(chan workItem, 1)
+		w.work[r] = ch
+		go func(r int, ch chan workItem) {
+			for it := range ch {
+				it.durs[r] = it.fn(r)
+				it.wg.Done()
+			}
+		}(r, ch)
+	}
+}
+
+// Close stops the rank workers. The world must not Execute afterwards;
+// closing a world that never executed is a no-op.
+func (w *World) Close() {
+	w.workers.Do(func() {}) // never start workers after Close
+	for _, ch := range w.work {
+		close(ch)
+	}
+	w.work = nil
+}
+
+// SetRecorder installs the synchronization span recorder; nil removes it.
+func (w *World) SetRecorder(r SpanRecorder) {
+	w.mu.Lock()
+	w.recorder = r
+	w.mu.Unlock()
+}
+
 // Synchronize applies per-rank durations, then aligns all clocks to the
 // maximum (a barrier/collective): it returns, per rank, the wait time the
-// barrier imposed on it.
+// barrier imposed on it. With a recorder installed, each rank's barrier
+// wait is emitted as an "mpi" span starting when the rank finished its own
+// work; the recorder runs after the world lock is released.
 func (w *World) Synchronize(durs []float64) []float64 {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	maxT := 0.0
 	for r, d := range durs {
 		w.clocks[r] += d
@@ -179,6 +235,16 @@ func (w *World) Synchronize(durs []float64) []float64 {
 	for r := range w.clocks {
 		waits[r] = maxT - w.clocks[r]
 		w.clocks[r] = maxT
+	}
+	rec := w.recorder
+	w.mu.Unlock()
+	if rec != nil {
+		for r, wt := range waits {
+			if wt > 0 {
+				// The wait starts when the rank finished its own work.
+				rec.RecordSpan(r, "mpi", "barrier-wait", maxT-wt, wt)
+			}
+		}
 	}
 	return waits
 }

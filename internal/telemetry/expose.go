@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry: Prometheus text at
+// the request path (the conventional /metrics mount), or the JSON snapshot
+// when the client asks for it via "?format=json" or an Accept header of
+// application/json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			req.Header.Get("Accept") == "application/json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// MetricsServer is a live exposition endpoint started by ServeMetrics.
+type MetricsServer struct {
+	// Addr is the bound listen address (resolves ":0" to the real port).
+	Addr string
+	srv  *http.Server
+}
+
+// Close shuts the listener down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// ServeMetrics starts an HTTP listener on addr exposing the registry at
+// /metrics (Prometheus text) and /metrics.json (JSON snapshot), for live
+// scraping during long runs. It returns once the listener is bound; serving
+// continues in a background goroutine until Close.
+func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{Addr: ln.Addr().String(), srv: srv}, nil
+}

@@ -1,0 +1,412 @@
+// Package telemetry is the unified observability substrate of the
+// repository: a span tracer recording nestable named spans into lock-cheap
+// per-rank buffers with Chrome trace_event JSON export, and a metrics
+// registry of counters, gauges and histograms with Prometheus text-format
+// exposition and JSON snapshots.
+//
+// The design follows the paper's §III-B non-perturbation requirement: every
+// entry point is safe on a nil receiver and returns immediately, so code can
+// be instrumented unconditionally — a run without a tracer or registry pays
+// only a nil check. Hot-path recording is allocation-free for up to two
+// attributes (attributes are tagged unions copied inline into the event
+// buffer, not boxed interfaces) and takes one short per-rank (sharded)
+// mutex; all serialization work happens at export time. Call sites that
+// fire every step can go further and intern the span identity once
+// (Intern + CompleteRef/InstantRef), reducing each record to a 40-byte
+// struct write with no string traffic at all.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// attrKind tags the payload of an Attr.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+)
+
+// Attr is one key/value attribute attached to a span or event, rendered
+// into the Chrome trace "args" object. Construct with String, Int or Float;
+// the value lives inline (no interface boxing), keeping span recording off
+// the heap.
+type Attr struct {
+	Key  string
+	s    string
+	f    float64
+	kind attrKind
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, s: value, kind: attrString} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, f: float64(value), kind: attrInt} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, f: value, kind: attrFloat} }
+
+// value unboxes the attribute for JSON export.
+func (a Attr) value() any {
+	switch a.kind {
+	case attrString:
+		return a.s
+	case attrInt:
+		return int64(a.f)
+	default:
+		return a.f
+	}
+}
+
+// GlobalTrack addresses the tracer's extra whole-run track (step spans, job
+// phases) instead of a rank track.
+const GlobalTrack = -1
+
+// phase codes follow the Chrome trace_event format.
+const (
+	phaseComplete = 'X' // complete event: ts + dur
+	phaseInstant  = 'i' // instant event
+	phaseCounter  = 'C' // counter sample
+	phaseMeta     = 'M' // metadata (track names)
+)
+
+// inlineAttrs is the attribute count recorded without heap allocation.
+const inlineAttrs = 2
+
+// event is one recorded trace event. Times are virtual simulation seconds;
+// export converts to the microseconds Chrome expects.
+type event struct {
+	name   string
+	cat    string
+	startS float64
+	durS   float64
+	attrs  [inlineAttrs]Attr
+	extra  []Attr // overflow beyond inlineAttrs, rare
+	nattr  uint8
+	ph     byte
+}
+
+// shard is one rank's event buffer. Each rank appends under its own mutex,
+// so concurrent ranks never contend with each other. Generic and interned
+// events live in separate buffers; the trace_event format does not require
+// chronological order, so export emits them back to back.
+type shard struct {
+	mu     sync.Mutex
+	events []event
+	fast   []fastEvent
+}
+
+// add constructs the event directly in the buffer — a single struct write,
+// no intermediate copies. The caller's variadic attrs slice is only read
+// here, so escape analysis keeps it on the caller's stack.
+func (s *shard) add(ph byte, cat, name string, startS, durS float64, attrs []Attr) {
+	s.mu.Lock()
+	s.events = append(s.events, event{name: name, cat: cat, startS: startS, durS: durS, ph: ph})
+	e := &s.events[len(s.events)-1]
+	e.nattr = uint8(copy(e.attrs[:], attrs))
+	if len(attrs) > inlineAttrs {
+		e.extra = append([]Attr(nil), attrs[inlineAttrs:]...)
+	}
+	s.mu.Unlock()
+}
+
+// fastEvent is one recorded event on the interned path: a 40-byte POD
+// record whose identity (category, name, attribute keys) lives in the
+// tracer's descriptor table. Hot loops record these instead of full events
+// — no strings, no variadic slice, one small struct write under the shard
+// mutex.
+type fastEvent struct {
+	startS float64
+	durS   float64
+	v0, v1 float64
+	ref    SpanRef
+	ph     byte
+}
+
+// addFast appends one interned event in place.
+func (s *shard) addFast(ph byte, ref SpanRef, startS, durS, v0, v1 float64) {
+	s.mu.Lock()
+	s.fast = append(s.fast, fastEvent{startS: startS, durS: durS, v0: v0, v1: v1, ref: ref, ph: ph})
+	s.mu.Unlock()
+}
+
+// SpanRef identifies a span descriptor interned with Tracer.Intern. Refs
+// are only meaningful on the tracer that issued them.
+type SpanRef uint32
+
+// spanDesc is the interned identity of a hot span: its category, name, and
+// up to two float-valued attribute keys.
+type spanDesc struct {
+	cat, name string
+	keys      [inlineAttrs]string
+	nkeys     uint8
+}
+
+// spanKey indexes the RecordSpan descriptor cache without allocating.
+type spanKey struct{ cat, name string }
+
+// Tracer records spans and events for one run. A nil *Tracer is a valid
+// no-op sink: all methods return immediately. Spans recorded on the same
+// rank track nest by containment when rendered in Perfetto or
+// chrome://tracing.
+type Tracer struct {
+	shards []shard // one per rank, plus one global track at the end
+
+	descMu sync.Mutex // guards descs growth; interning is cold-path
+	descs  []spanDesc
+	cache  sync.Map // spanKey → SpanRef, backing RecordSpan
+}
+
+// NewTracer creates a tracer with one track per rank plus the global track.
+func NewTracer(ranks int) *Tracer {
+	if ranks < 0 {
+		ranks = 0
+	}
+	return &Tracer{shards: make([]shard, ranks+1)}
+}
+
+// Intern registers a span identity — category, name, and up to two
+// attribute keys whose values are supplied per event — returning a ref for
+// CompleteRef/InstantRef. Interning the identity once moves all string
+// handling off the recording path; callers typically intern at setup or
+// memoize per call site. Interning the same identity twice returns the
+// same ref. On a nil tracer Intern returns 0; the ref is inert.
+func (t *Tracer) Intern(category, name string, keys ...string) SpanRef {
+	if t == nil {
+		return 0
+	}
+	d := spanDesc{cat: category, name: name}
+	d.nkeys = uint8(copy(d.keys[:], keys))
+	t.descMu.Lock()
+	defer t.descMu.Unlock()
+	for i := range t.descs {
+		if t.descs[i] == d {
+			return SpanRef(i)
+		}
+	}
+	t.descs = append(t.descs, d)
+	return SpanRef(len(t.descs) - 1)
+}
+
+// CompleteRef records a finished span of an interned identity. v0 and v1
+// fill the descriptor's attribute keys in order; surplus values are
+// dropped at export.
+func (t *Tracer) CompleteRef(rank int, ref SpanRef, startS, durS, v0, v1 float64) {
+	if t == nil {
+		return
+	}
+	t.shardFor(rank).addFast(phaseComplete, ref, startS, durS, v0, v1)
+}
+
+// InstantRef records a zero-duration event of an interned identity at tsS.
+func (t *Tracer) InstantRef(rank int, ref SpanRef, tsS, v0, v1 float64) {
+	if t == nil {
+		return
+	}
+	t.shardFor(rank).addFast(phaseInstant, ref, tsS, 0, v0, v1)
+}
+
+// shardFor maps a rank (or GlobalTrack) to its buffer. Out-of-range ranks
+// land on the global track rather than panicking.
+func (t *Tracer) shardFor(rank int) *shard {
+	if rank < 0 || rank >= len(t.shards)-1 {
+		return &t.shards[len(t.shards)-1]
+	}
+	return &t.shards[rank]
+}
+
+// Complete records a finished span [startS, startS+durS) on a rank track.
+func (t *Tracer) Complete(rank int, category, name string, startS, durS float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.shardFor(rank).add(phaseComplete, category, name, startS, durS, attrs)
+}
+
+// Instant records a zero-duration event at tsS on a rank track.
+func (t *Tracer) Instant(rank int, category, name string, tsS float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.shardFor(rank).add(phaseInstant, category, name, tsS, 0, attrs)
+}
+
+// Counter records a counter sample at tsS; each attribute becomes one series
+// of the named counter (rendered as a stacked area in the trace viewer).
+func (t *Tracer) Counter(rank int, name string, tsS float64, values ...Attr) {
+	if t == nil {
+		return
+	}
+	t.shardFor(rank).add(phaseCounter, "", name, tsS, 0, values)
+}
+
+// RecordSpan is the plain-span entry point used through small local
+// interfaces (e.g. mpisim's SpanRecorder), keeping subsystem packages free
+// of a telemetry dependency. Each (category, name) identity is interned on
+// first use, so repeated spans record on the fast path.
+func (t *Tracer) RecordSpan(rank int, category, name string, startS, durS float64) {
+	if t == nil {
+		return
+	}
+	key := spanKey{cat: category, name: name}
+	ref, ok := t.cache.Load(key)
+	if !ok {
+		ref, _ = t.cache.LoadOrStore(key, t.Intern(category, name))
+	}
+	t.CompleteRef(rank, ref.(SpanRef), startS, durS, 0, 0)
+}
+
+// SetTrackName labels a rank track ("rank 3", "sim") in the exported trace.
+func (t *Tracer) SetTrackName(rank int, name string) {
+	if t == nil {
+		return
+	}
+	t.shardFor(rank).add(phaseMeta, "", "thread_name", 0, 0,
+		[]Attr{String("name", name)})
+}
+
+// Reset drops all recorded events but keeps the shard buffers' capacity,
+// so a long-lived process can export one run's trace and reuse the tracer
+// for the next run without reallocating.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.events = s.events[:0]
+		s.fast = s.fast[:0]
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the total number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.events) + len(s.fast)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// WriteJSON exports the recorded events as Chrome trace_event JSON (the
+// "JSON object format": {"traceEvents": [...]}), loadable in Perfetto and
+// chrome://tracing. Ranks map to tids of pid 0; times convert from virtual
+// seconds to microseconds.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := []map[string]any{}
+	if t != nil {
+		t.descMu.Lock()
+		descs := append([]spanDesc(nil), t.descs...)
+		t.descMu.Unlock()
+		for tid := range t.shards {
+			s := &t.shards[tid]
+			s.mu.Lock()
+			buf := make([]event, len(s.events))
+			copy(buf, s.events)
+			fast := make([]fastEvent, len(s.fast))
+			copy(fast, s.fast)
+			s.mu.Unlock()
+			for i := range buf {
+				events = append(events, buf[i].jsonObject(tid))
+			}
+			for i := range fast {
+				if int(fast[i].ref) < len(descs) {
+					events = append(events, fast[i].jsonObject(tid, &descs[fast[i].ref]))
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// jsonObject renders one event in trace_event form on track tid.
+func (e *event) jsonObject(tid int) map[string]any {
+	obj := map[string]any{
+		"name": e.name,
+		"ph":   string(rune(e.ph)),
+		"ts":   e.startS * 1e6,
+		"pid":  0,
+		"tid":  tid,
+	}
+	if e.cat != "" {
+		obj["cat"] = e.cat
+	}
+	switch e.ph {
+	case phaseComplete:
+		obj["dur"] = e.durS * 1e6
+	case phaseInstant:
+		obj["s"] = "t" // thread-scoped instant
+	}
+	if n := int(e.nattr) + len(e.extra); n > 0 {
+		args := make(map[string]any, n)
+		for _, a := range e.attrs[:e.nattr] {
+			args[a.Key] = a.value()
+		}
+		for _, a := range e.extra {
+			args[a.Key] = a.value()
+		}
+		obj["args"] = args
+	}
+	return obj
+}
+
+// jsonObject renders one interned event in trace_event form on track tid.
+func (e *fastEvent) jsonObject(tid int, d *spanDesc) map[string]any {
+	obj := map[string]any{
+		"name": d.name,
+		"ph":   string(rune(e.ph)),
+		"ts":   e.startS * 1e6,
+		"pid":  0,
+		"tid":  tid,
+	}
+	if d.cat != "" {
+		obj["cat"] = d.cat
+	}
+	switch e.ph {
+	case phaseComplete:
+		obj["dur"] = e.durS * 1e6
+	case phaseInstant:
+		obj["s"] = "t"
+	}
+	if d.nkeys > 0 {
+		args := make(map[string]any, d.nkeys)
+		args[d.keys[0]] = e.v0
+		if d.nkeys > 1 {
+			args[d.keys[1]] = e.v1
+		}
+		obj["args"] = args
+	}
+	return obj
+}
+
+// WriteFile writes the Chrome trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		return fmt.Errorf("telemetry: write trace: %w", err)
+	}
+	return nil
+}

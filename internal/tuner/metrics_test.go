@@ -1,0 +1,54 @@
+package tuner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sphenergy/internal/gpusim"
+	"sphenergy/internal/telemetry"
+)
+
+func TestTuneKernelRecordsSweepMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	spec := gpusim.A100SXM480GB()
+	kernel := gpusim.KernelDesc{Items: 10e6, FlopsPerItem: 2000, BytesPerItem: 400, EffFactor: 0.5}
+	res, err := TuneKernel("iad", kernel, Config{
+		Spec:    spec,
+		Params:  Params{FrequenciesMHz: []int{1410, 1200, 1005}},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`tuner_evaluations_total{kernel="iad"} 3`,
+		`tuner_candidate_score{kernel="iad",mhz="1410"}`,
+		`tuner_candidate_score{kernel="iad",mhz="1005"}`,
+		`tuner_candidate_time_s{kernel="iad",mhz="1200"}`,
+		`tuner_best_mhz{kernel="iad"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	if res.Evaluations != 3 {
+		t.Errorf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestTuneKernelNilRegistryIsFine(t *testing.T) {
+	spec := gpusim.A100SXM480GB()
+	kernel := gpusim.KernelDesc{Items: 10e6, FlopsPerItem: 2000, BytesPerItem: 400, EffFactor: 0.5}
+	if _, err := TuneKernel("iad", kernel, Config{
+		Spec:   spec,
+		Params: Params{FrequenciesMHz: []int{1410, 1005}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

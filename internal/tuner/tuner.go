@@ -13,9 +13,11 @@ package tuner
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"sphenergy/internal/gpusim"
 	"sphenergy/internal/rng"
+	"sphenergy/internal/telemetry"
 )
 
 // Objective scores one measured configuration; lower is better.
@@ -77,6 +79,10 @@ type Config struct {
 	// 2%) into each time/energy sample, modeling the run-to-run variation
 	// real KernelTuner measurements face; Iterations averages it out.
 	NoiseRel float64
+	// Metrics, when non-nil, receives the sweep's progress: evaluation
+	// counts and per-candidate time/energy/score gauges labeled by kernel
+	// and frequency, live-scrapable while a long tuning session runs.
+	Metrics *telemetry.Registry
 }
 
 // Measurement is one evaluated configuration.
@@ -167,10 +173,25 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 	if cfg.NoiseRel > 0 {
 		noise = rng.New(cfg.Seed + 0x9E37)
 	}
+	evals := cfg.Metrics.Counter("tuner_evaluations_total",
+		"frequency configurations measured", telemetry.L("kernel", kernelName))
 	eval := func(mhz int) Measurement {
 		m := measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noise)
 		m.Score = cfg.Objective(m.TimeS, m.EnergyJ)
 		res.Evaluations++
+		evals.Inc()
+		if cfg.Metrics != nil {
+			labels := []telemetry.Label{
+				telemetry.L("kernel", kernelName),
+				telemetry.L("mhz", strconv.Itoa(mhz)),
+			}
+			cfg.Metrics.Gauge("tuner_candidate_time_s",
+				"measured kernel time per candidate clock", labels...).Set(m.TimeS)
+			cfg.Metrics.Gauge("tuner_candidate_energy_j",
+				"measured kernel energy per candidate clock", labels...).Set(m.EnergyJ)
+			cfg.Metrics.Gauge("tuner_candidate_score",
+				"objective score per candidate clock (lower is better)", labels...).Set(m.Score)
+		}
 		return m
 	}
 
@@ -223,6 +244,9 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 		}
 	}
 	res.Best = best
+	cfg.Metrics.Gauge("tuner_best_mhz",
+		"winning application clock per kernel", telemetry.L("kernel", kernelName)).
+		Set(float64(best.MHz))
 	// Keep All sorted by descending frequency for reporting.
 	sort.Slice(res.All, func(a, b int) bool { return res.All[a].MHz > res.All[b].MHz })
 	return res, nil

@@ -43,6 +43,7 @@ import (
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/gpusim"
 	"sphenergy/internal/instr"
+	"sphenergy/internal/telemetry"
 	"sphenergy/internal/tuner"
 )
 
@@ -72,6 +73,26 @@ type Strategy = freqctl.Strategy
 
 // Run executes an instrumented simulation run.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Tracer aliases the telemetry span tracer: set Config.Tracer to record the
+// run's timeline and export it as Chrome trace_event JSON.
+type Tracer = telemetry.Tracer
+
+// Metrics aliases the telemetry metrics registry: set Config.Metrics to
+// collect counters/gauges/histograms with Prometheus or JSON exposition.
+type Metrics = telemetry.Registry
+
+// NewTracer creates a span tracer with one track per rank.
+func NewTracer(ranks int) *Tracer { return telemetry.NewTracer(ranks) }
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
+// ServeMetrics starts a /metrics HTTP listener exposing a registry for live
+// scraping during long runs; close the returned server when done.
+func ServeMetrics(addr string, m *Metrics) (*telemetry.MetricsServer, error) {
+	return telemetry.ServeMetrics(addr, m)
+}
 
 // LUMIG returns the LUMI-G node architecture of Table I.
 func LUMIG() NodeSpec { return cluster.LUMIG() }
