@@ -2,13 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-telemetry check experiments examples clean
+.PHONY: all build vet test race race-energy bench bench-telemetry bench-json check experiments examples clean
 
 all: build vet test
 
 # check is the CI gate: static vetting plus the full suite under the race
-# detector (includes the telemetry concurrency tests).
-check: vet race
+# detector (includes the telemetry concurrency tests), with a focused
+# re-run of the energy attribution/validation path so a regression there
+# is named in the failure output rather than buried in ./...
+check: vet race race-energy
+
+# The sampler/attribution/three-way-validation stack exercised under the
+# race detector: per-rank channels polled from rank goroutines while the
+# coordinator polls node sensors and the registry serves scrapes.
+race-energy:
+	$(GO) test -race -run 'Sampler|Sampling|Attrib|Build|Validation|ThreeWay' \
+		./internal/sampler/ ./internal/attrib/ ./internal/core/ ./internal/slurm/ ./internal/report/
 
 build:
 	$(GO) build ./...
@@ -31,6 +40,12 @@ bench:
 bench-telemetry:
 	$(GO) test -bench 'SpanRecord|CounterInc|HistogramObserve' -benchmem ./internal/telemetry/
 	$(GO) test -bench TelemetryOverhead -benchtime 300x -count 3 ./internal/core/
+
+# Sampler overhead (off / 10 Hz / 100 Hz) as machine-readable JSON for
+# regression tracking; the human-readable twin is
+# `go test -bench SamplerOverhead ./internal/core/`.
+bench-json:
+	$(GO) run ./cmd/energybench -out BENCH_energy.json
 
 # Regenerate every table/figure at the paper's step counts.
 experiments:

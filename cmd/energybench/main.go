@@ -1,0 +1,105 @@
+// Command energybench measures the async power sampler's overhead on a
+// fixed reference run (miniHPC Turbulence, 2 ranks, 100 steps) at the
+// rates the real measurement back-ends use — off, 10 Hz (BMC/pm_counters)
+// and 100 Hz (NVML) — and writes the results as machine-readable JSON for
+// regression tracking. It is the scriptable face of the
+// BenchmarkSamplerOverhead benchmark in internal/core.
+//
+// Example:
+//
+//	energybench -out BENCH_energy.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/sampler"
+)
+
+// result is one scenario's measurement in the output file.
+type result struct {
+	Name        string  `json:"name"`
+	RateHz      float64 `json:"rate_hz"`
+	Runs        int     `json:"runs"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// OverheadPct is ns/op relative to the sampling-off baseline.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_energy.json", "output path for the JSON results")
+	steps := flag.Int("s", 100, "time-steps per run")
+	flag.Parse()
+
+	base := core.Config{
+		System:           cluster.MiniHPC(),
+		Ranks:            2,
+		Sim:              core.Turbulence,
+		ParticlesPerRank: 10e6,
+		Steps:            *steps,
+	}
+	scenarios := []struct {
+		name string
+		cfg  sampler.Config
+	}{
+		{"off", sampler.Config{}},
+		{"10Hz", sampler.Config{GPUHz: 10, NodeHz: 10}},
+		{"100Hz", sampler.Config{GPUHz: 100, NodeHz: 10}},
+	}
+
+	var results []result
+	for _, sc := range scenarios {
+		cfg := base
+		cfg.Sampling = sc.cfg
+		// testing.Benchmark self-calibrates to ~1 s of measured run time
+		// per scenario, the same loop `go test -bench` uses.
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		results = append(results, result{
+			Name:        sc.name,
+			RateHz:      sc.cfg.GPUHz,
+			Runs:        br.N,
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	baseline := results[0].NsPerOp
+	for i := range results {
+		if baseline > 0 {
+			results[i].OverheadPct = 100 * float64(results[i].NsPerOp-baseline) / float64(baseline)
+		}
+		fmt.Printf("%-6s %12d ns/op %10d B/op %8d allocs/op %+7.2f%%\n",
+			results[i].Name, results[i].NsPerOp, results[i].BytesPerOp,
+			results[i].AllocsPerOp, results[i].OverheadPct)
+	}
+
+	f, err := os.Create(*out)
+	fatalIf(err)
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	fatalIf(enc.Encode(results))
+	fmt.Printf("results written to %s\n", *out)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energybench:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	energyreport run.json
 //	energyreport -baseline base.json mandyn.json
+//	energyreport -json run.json | jq .attribution.kernels
 package main
 
 import (
@@ -21,14 +22,20 @@ import (
 
 func main() {
 	baseline := flag.String("baseline", "", "baseline report to normalize against")
+	jsonOut := flag.Bool("json", false, "re-emit the parsed report as JSON on stdout (for jq-style pipelines)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: energyreport [-baseline base.json] <report.json>")
+		fmt.Fprintln(os.Stderr, "usage: energyreport [-baseline base.json] [-json] <report.json>")
 		os.Exit(2)
 	}
 
 	r, err := instr.ReadReportFile(flag.Arg(0))
 	fatalIf(err)
+
+	if *jsonOut {
+		fatalIf(r.WriteJSON(os.Stdout))
+		return
+	}
 
 	fmt.Printf("simulation: %s on %s (%d ranks, strategy %s)\n",
 		r.Simulation, r.System, len(r.Ranks), r.Strategy)
@@ -56,8 +63,23 @@ func main() {
 				maxT = t
 			}
 		}
-		fmt.Printf("\nper-rank GPU energy spread: min %.1f J, max %.1f J (%.2f%% imbalance)\n",
-			minT, maxT, 100*(maxT-minT)/maxT)
+		if maxT > 0 {
+			fmt.Printf("\nper-rank GPU energy spread: min %.1f J, max %.1f J (%.2f%% imbalance)\n",
+				minT, maxT, 100*(maxT-minT)/maxT)
+		} else {
+			// All ranks reported zero GPU energy (e.g. a CPU-only or empty
+			// report) — there is no imbalance to quantify.
+			fmt.Printf("\nper-rank GPU energy spread: all ranks 0 J\n")
+		}
+	}
+
+	if r.Attribution != nil {
+		fmt.Println()
+		fmt.Print(report.RenderAttribution(r.Attribution, 12))
+	}
+	if r.Validation != nil {
+		fmt.Println()
+		fmt.Print(report.RenderValidation(r.Validation))
 	}
 
 	if *baseline != "" {

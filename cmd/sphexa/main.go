@@ -12,6 +12,7 @@
 //	sphexa -sim turbulence -system minihpc -ranks 1 -strategy mandyn
 //	sphexa -sim turbulence -ranks 4 -strategy mandyn -trace-out run.trace.json \
 //	    -metrics-out metrics.json -metrics-addr :9090
+//	sphexa -sim turbulence -ranks 2 -s 3 -ppr 10e6 -energy-validate
 package main
 
 import (
@@ -25,6 +26,8 @@ import (
 	"sphenergy/internal/core"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/report"
+	"sphenergy/internal/sampler"
+	"sphenergy/internal/slurm"
 	"sphenergy/internal/telemetry"
 	"sphenergy/internal/units"
 )
@@ -46,6 +49,10 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the run timeline as Chrome trace_event JSON (open in Perfetto or chrome://tracing)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics JSON snapshot to this path")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text format on this address at /metrics during the run (e.g. :9090)")
+
+		sampleHz     = flag.Float64("sample-hz", 0, "async per-GPU power sampling rate in Hz (0 disables sampling)")
+		sampleNodeHz = flag.Float64("sample-node-hz", sampler.DefaultNodeHz, "async node-sensor (BMC/pm_counters) sampling rate in Hz")
+		validate     = flag.Bool("energy-validate", false, "run as a Slurm job with async sampling and print the per-kernel attribution and three-way cross-source energy validation")
 	)
 	flag.Parse()
 
@@ -69,6 +76,17 @@ func main() {
 		cfg.Tracer = telemetry.NewTracer(*ranks)
 		// Mirror rank 0's frequency/power trajectory into the timeline.
 		cfg.Trace, cfg.TraceRank = true, 0
+	}
+	if *validate && *sampleHz <= 0 {
+		*sampleHz = sampler.DefaultGPUHz
+	}
+	if *sampleHz > 0 {
+		cfg.Sampling = sampler.Config{GPUHz: *sampleHz, NodeHz: *sampleNodeHz}
+	}
+	if *validate && cfg.Tracer == nil {
+		// Attribution joins sampled power against kernel spans, so the
+		// validation mode needs a tracer even without -trace-out.
+		cfg.Tracer = telemetry.NewTracer(*ranks)
 	}
 	if *metricsOut != "" || *metricsAddr != "" {
 		cfg.Metrics = telemetry.NewRegistry()
@@ -105,8 +123,24 @@ func main() {
 		fatalIf(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
-	res, err := sphenergy.Run(cfg)
-	fatalIf(err)
+	var res *sphenergy.Result
+	if *validate {
+		// Run as a Slurm job so the three-way validation can compare the
+		// sampled sensors and pm_counters against ConsumedEnergy accounting.
+		mgr := slurm.NewManager()
+		job, err := mgr.Submit(cfg, slurm.SubmitOptions{
+			JobName: string(sim),
+			TRES:    slurm.ParseTRES("billing,cpu,energy,gres/gpu"),
+		})
+		fatalIf(err)
+		_, err = slurm.ThreeWay(job, 0)
+		fatalIf(err)
+		res = job.Result
+	} else {
+		var err error
+		res, err = sphenergy.Run(cfg)
+		fatalIf(err)
+	}
 
 	fmt.Printf("simulation %s on %s: %d ranks, %d steps, %.3g particles/rank\n",
 		sim, spec.Name, *ranks, *steps, ppr)
@@ -114,6 +148,15 @@ func main() {
 	fmt.Printf("total energy:     %.3f MJ (GPU %.3f MJ)\n",
 		res.EnergyJ()/1e6, res.GPUEnergyJ()/1e6)
 	fmt.Printf("EDP:              %.4g J*s\n", res.EDP())
+
+	if res.Report.Attribution != nil {
+		fmt.Println()
+		fmt.Print(report.RenderAttribution(res.Report.Attribution, 12))
+	}
+	if res.Report.Validation != nil {
+		fmt.Println()
+		fmt.Print(report.RenderValidation(res.Report.Validation))
+	}
 
 	if !*quiet {
 		db := report.NewDeviceBreakdown(res.Report, spec, string(sim))

@@ -1,8 +1,11 @@
 // Measurement plumbing tour: the validation workflow of §IV-A. A
-// turbulence job runs through the simulated Slurm manager on CSCS-A100;
-// the example then compares Slurm's ConsumedEnergy against the PMT
-// instrumentation, reads the Cray pm_counters sysfs view of node zero, and
-// materializes the /sys/cray/pm_counters files on disk.
+// turbulence job runs through the simulated Slurm manager on CSCS-A100
+// with the async power sampler polling every GPU at 100 Hz and every
+// node BMC at 10 Hz; the example then compares Slurm's ConsumedEnergy
+// against the PMT instrumentation, runs the three-way cross-source
+// validation and the per-kernel energy attribution, reads the Cray
+// pm_counters sysfs view of node zero, and materializes the
+// /sys/cray/pm_counters files on disk.
 package main
 
 import (
@@ -14,17 +17,25 @@ import (
 	"sphenergy/internal/cluster"
 	"sphenergy/internal/core"
 	"sphenergy/internal/pmcounters"
+	"sphenergy/internal/report"
+	"sphenergy/internal/sampler"
 	"sphenergy/internal/slurm"
+	"sphenergy/internal/telemetry"
 )
 
 func main() {
 	mgr := slurm.NewManager()
+	ranks := 8
 	job, err := mgr.Submit(core.Config{
 		System:           cluster.CSCSA100(),
-		Ranks:            8,
+		Ranks:            ranks,
 		Sim:              core.Turbulence,
 		ParticlesPerRank: 150e6,
 		Steps:            25,
+		// The attribution layer joins the sampled power series against the
+		// tracer's kernel spans, so both are enabled for the job.
+		Tracer:   telemetry.NewTracer(ranks),
+		Sampling: sampler.Config{GPUHz: 100, NodeHz: 10},
 	}, slurm.SubmitOptions{
 		JobName:       "turb-validate",
 		SetupS:        45,
@@ -43,6 +54,22 @@ func main() {
 	fmt.Printf("PMT instrumented:     %12.0f J (from the time-stepping loop)\n", job.LoopEnergyJ)
 	gap := 100 * (job.ConsumedEnergyJ - job.LoopEnergyJ) / job.ConsumedEnergyJ
 	fmt.Printf("gap: %.2f%% — the job setup phase PMT does not observe\n", gap)
+
+	fmt.Println("\n== three-way cross-source validation ==")
+	v, err := slurm.ThreeWay(job, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.RenderValidation(v))
+
+	fmt.Println("\n== per-kernel energy attribution (async sampler + spans) ==")
+	fmt.Print(report.RenderAttribution(job.Result.Report.Attribution, 8))
+
+	fmt.Println("\n== sampler staleness/jitter statistics ==")
+	for _, st := range job.Result.Sampler.Stats()[:3] {
+		fmt.Printf("  %-22s %6.4g Hz  %6d ticks  %5d dropped  max gap %.4f s\n",
+			st.Name, st.RateHz, st.Ticks, st.Dropped, st.MaxPollGapS)
+	}
 
 	fmt.Println("\n== Cray pm_counters view of node 0 ==")
 	node := job.Result.System.Nodes[0]

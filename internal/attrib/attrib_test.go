@@ -1,0 +1,220 @@
+package attrib
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sphenergy/internal/sampler"
+	"sphenergy/internal/telemetry"
+)
+
+// grid builds a tick series sampling a piecewise-constant power profile
+// exactly: segs are (duration, watts) pairs starting at t=0.
+func grid(hz float64, segs ...[2]float64) []sampler.Sample {
+	period := 1 / hz
+	var end float64
+	for _, s := range segs {
+		end += s[0]
+	}
+	energyAt := func(t float64) float64 {
+		e, t0 := 0.0, 0.0
+		for _, s := range segs {
+			t1 := t0 + s[0]
+			if t <= t0 {
+				break
+			}
+			upto := math.Min(t, t1)
+			e += (upto - t0) * s[1]
+			t0 = t1
+		}
+		return e
+	}
+	var out []sampler.Sample
+	for i := 0; ; i++ {
+		t := float64(i) * period
+		if t > end+1e-9 {
+			break
+		}
+		out = append(out, sampler.Sample{TimeS: t, EnergyJ: energyAt(t)})
+	}
+	return out
+}
+
+func TestBuildExactWhenSpansAlignWithTicks(t *testing.T) {
+	// 200 W for 1 s (kernel A), 50 W for 1 s (idle), 300 W for 1 s
+	// (kernel B) — span boundaries on whole seconds align with the 10 Hz
+	// grid, so lerp attribution is exact.
+	series := map[int][]sampler.Sample{
+		0: grid(10, [2]float64{1, 200}, [2]float64{1, 50}, [2]float64{1, 300}),
+	}
+	tr := telemetry.NewTracer(1)
+	kA := tr.Intern("kernel", "A", "clock_mhz", "energy_j")
+	kB := tr.Intern("kernel", "B", "clock_mhz", "energy_j")
+	tr.CompleteRef(0, kA, 0, 1, 1410, 200)
+	tr.CompleteRef(0, kB, 2, 1, 1410, 300)
+
+	a := Build(tr.Spans(), series, Options{RateHz: 10})
+	if len(a.Kernels) != 2 {
+		t.Fatalf("kernels = %d, want 2", len(a.Kernels))
+	}
+	// Sorted by descending model energy: B (300) then A (200).
+	if a.Kernels[0].Name != "B" || a.Kernels[1].Name != "A" {
+		t.Fatalf("order = %s, %s", a.Kernels[0].Name, a.Kernels[1].Name)
+	}
+	for _, r := range a.Kernels {
+		if math.Abs(r.ErrPct) > 1e-9 {
+			t.Fatalf("kernel %s err = %g%%, want 0", r.Name, r.ErrPct)
+		}
+		if !r.Resolvable {
+			t.Fatalf("kernel %s should be resolvable (1 s at 10 Hz)", r.Name)
+		}
+	}
+	if b := a.Kernels[0]; math.Abs(b.EDPJs-300) > 1e-9 {
+		t.Fatalf("B EDP = %g, want 300 J·s", b.EDPJs)
+	}
+	if !a.Pass {
+		t.Fatalf("attribution should pass: agg=%g max=%g", a.AggErrPct, a.MaxResolvableErrPct)
+	}
+	if len(a.Ranks) != 1 || math.Abs(a.Ranks[0].ErrPct) > 1e-9 {
+		t.Fatalf("rank summary = %+v", a.Ranks)
+	}
+}
+
+func TestBuildMisalignedSpanHasBoundedError(t *testing.T) {
+	// A short 250 W burst (0.95 s..1.05 s) straddles one 1 Hz tick:
+	// per-row error is large, but it is unresolvable at 1 Hz and the
+	// energy-weighted aggregate stays bounded by one period's energy.
+	series := map[int][]sampler.Sample{
+		0: grid(1, [2]float64{0.95, 100}, [2]float64{0.1, 250}, [2]float64{0.95, 100}),
+	}
+	tr := telemetry.NewTracer(1)
+	long := tr.Intern("kernel", "long", "clock_mhz", "energy_j")
+	burst := tr.Intern("kernel", "burst", "clock_mhz", "energy_j")
+	tr.CompleteRef(0, long, 0, 0.95, 1410, 95)
+	tr.CompleteRef(0, burst, 0.95, 0.1, 1410, 25)
+
+	a := Build(tr.Spans(), series, Options{RateHz: 1})
+	var b Row
+	for _, r := range a.Kernels {
+		if r.Name == "burst" {
+			b = r
+		}
+	}
+	if b.Resolvable {
+		t.Fatal("0.1 s kernel at 1 Hz must be unresolvable")
+	}
+	if b.ErrPct == 0 {
+		t.Fatal("misaligned burst should carry attribution error")
+	}
+	// Unresolvable rows are excluded from the per-row gate.
+	if a.MaxResolvableErrPct > DefaultTolerancePct+1e-9 {
+		lr := a.Kernels
+		t.Fatalf("resolvable max err = %g%% rows=%+v", a.MaxResolvableErrPct, lr)
+	}
+}
+
+func TestBuildIgnoresOtherSpans(t *testing.T) {
+	series := map[int][]sampler.Sample{0: grid(10, [2]float64{1, 100})}
+	tr := telemetry.NewTracer(1)
+	tr.Complete(0, "mpi", "barrier", 0, 0.5)
+	tr.Complete(telemetry.GlobalTrack, "step", "step 0", 0, 1)
+	tr.Instant(0, "kernel", "phantom", 0.5)
+	a := Build(tr.Spans(), series, Options{RateHz: 10})
+	if len(a.Kernels) != 0 || len(a.Functions) != 0 {
+		t.Fatalf("unexpected rows: %+v %+v", a.Kernels, a.Functions)
+	}
+	if a.Pass {
+		t.Fatal("empty attribution must not pass")
+	}
+}
+
+func TestBuildFunctions(t *testing.T) {
+	series := map[int][]sampler.Sample{
+		0: grid(10, [2]float64{2, 150}),
+	}
+	tr := telemetry.NewTracer(1)
+	fn := tr.Intern("function", "MomentumEnergyIAD", "gpu_j", "comm_s")
+	tr.CompleteRef(0, fn, 0, 1, 150, 0.1)
+	tr.CompleteRef(0, fn, 1, 1, 150, 0.1)
+	a := Build(tr.Spans(), series, Options{RateHz: 10})
+	if len(a.Functions) != 1 {
+		t.Fatalf("functions = %d, want 1", len(a.Functions))
+	}
+	f := a.Functions[0]
+	if f.Calls != 2 || math.Abs(f.ModelJ-300) > 1e-9 || math.Abs(f.ErrPct) > 1e-9 {
+		t.Fatalf("function row = %+v", f)
+	}
+}
+
+func TestTopKernelsAggregatesRanks(t *testing.T) {
+	series := map[int][]sampler.Sample{
+		0: grid(10, [2]float64{1, 100}),
+		1: grid(10, [2]float64{1, 200}),
+	}
+	tr := telemetry.NewTracer(2)
+	k := tr.Intern("kernel", "density", "clock_mhz", "energy_j")
+	tr.CompleteRef(0, k, 0, 1, 1410, 100)
+	tr.CompleteRef(1, k, 0, 1, 1410, 200)
+	a := Build(tr.Spans(), series, Options{RateHz: 10})
+	top := a.TopKernels(5)
+	if len(top) != 1 {
+		t.Fatalf("top = %d, want 1", len(top))
+	}
+	if top[0].Calls != 2 || math.Abs(top[0].ModelJ-300) > 1e-9 {
+		t.Fatalf("aggregated row = %+v", top[0])
+	}
+}
+
+func TestRelErrPct(t *testing.T) {
+	if e := relErrPct(102, 100); math.Abs(e-2) > 1e-12 {
+		t.Fatalf("err = %g", e)
+	}
+	if e := relErrPct(0, 0); e != 0 {
+		t.Fatalf("0/0 err = %g", e)
+	}
+	if e := relErrPct(5, 0); e != 100 {
+		t.Fatalf("x/0 err = %g", e)
+	}
+	if e := relErrPct(-5, 0); e != -100 {
+		t.Fatalf("-x/0 err = %g", e)
+	}
+}
+
+func TestValidationThreeWay(t *testing.T) {
+	v := NewValidation(1000, 2)
+	v.Add("sampled-sensors", 1005, false)
+	v.Add("pm_counters", 995, false)
+	v.Add("slurm-consumed", 1000, false)
+	v.Add("pmt-loop-only", 900, true) // Fig. 3 gap: informational
+	if !v.Pass {
+		t.Fatalf("validation should pass: %+v", v.Sources)
+	}
+	s, ok := v.Get("pmt-loop-only")
+	if !ok || !s.Pass || !s.Informational {
+		t.Fatalf("informational source = %+v", s)
+	}
+	if got := v.Summary(); !strings.Contains(got, "PASS: 3/3") {
+		t.Fatalf("summary = %q", got)
+	}
+
+	v2 := NewValidation(1000, 2)
+	v2.Add("sampled-sensors", 1050, false) // 5% off
+	if v2.Pass {
+		t.Fatal("5% deviation must fail a 2% threshold")
+	}
+	if got := v2.Summary(); !strings.Contains(got, "FAIL: 0/1") {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestValidationZeroReference(t *testing.T) {
+	v := NewValidation(0, 0)
+	if v.ThresholdPct != DefaultTolerancePct {
+		t.Fatalf("threshold = %g", v.ThresholdPct)
+	}
+	v.Add("sampled-sensors", 5, false)
+	if v.Pass {
+		t.Fatal("nonzero reading against zero reference must fail")
+	}
+}

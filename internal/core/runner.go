@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"sphenergy/internal/attrib"
 	"sphenergy/internal/cluster"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/gpusim"
@@ -13,6 +14,7 @@ import (
 	"sphenergy/internal/nvml"
 	"sphenergy/internal/pmt"
 	"sphenergy/internal/rsmi"
+	"sphenergy/internal/sampler"
 	"sphenergy/internal/telemetry"
 )
 
@@ -64,6 +66,13 @@ type Config struct {
 	// histograms (kernel_launches_total, gpu_clock_mhz, step_energy_j, ...)
 	// for Prometheus exposition or JSON snapshots. Nil disables metrics.
 	Metrics *telemetry.Registry
+	// Sampling, when enabled, runs the async power sampler during the job:
+	// every rank's GPU sensor at Sampling.GPUHz plus one pm_counters node
+	// sensor per node at Sampling.NodeHz. With a Tracer present, the
+	// sampled series are joined against the kernel/function spans into
+	// Result.Attribution; with Metrics present, live power gauges and
+	// cumulative-energy counters are exported per sensor.
+	Sampling sampler.Config
 }
 
 // Defaulted returns the config with defaults filled in.
@@ -157,6 +166,13 @@ type Result struct {
 	// StepBoundariesS records the virtual time at the end of each step, for
 	// trace alignment (Fig. 9's 10-step window).
 	StepBoundariesS []float64
+	// Sampler holds the async power sampler's channels and series when
+	// Config.Sampling was enabled, nil otherwise.
+	Sampler *sampler.Sampler
+	// Attribution is the span-joined per-kernel/per-function energy
+	// accounting (also attached to Report); non-nil when both Sampling and
+	// a Tracer were configured.
+	Attribution *attrib.Attribution
 }
 
 // EnergyJ returns total allocation energy.
@@ -179,6 +195,9 @@ type rankCtx struct {
 	strategy freqctl.Strategy
 	sensor   pmt.Sensor
 	profile  *instr.RankProfile
+	// samp is the rank's async sampling channel (nil when sampling is off);
+	// polled from the rank's own goroutine at kernel and idle boundaries.
+	samp *sampler.Channel
 }
 
 // Run executes the instrumented time-stepping loop.
@@ -236,6 +255,25 @@ func Run(cfg Config) (*Result, error) {
 		rt.attachTraceSink(trace, cfg.TraceRank)
 	}
 
+	// Async power sampling: one channel per rank GPU sensor, one
+	// pm_counters node channel per node. Rank channels poll from their own
+	// goroutines at kernel/idle boundaries; node channels poll from the
+	// coordinator at phase boundaries. The initial PollAll establishes the
+	// t=0 energy baseline so node accumulation covers the setup phase —
+	// matching Slurm's from-submission scope.
+	var smp *sampler.Sampler
+	if cfg.Sampling.Enabled() {
+		smp = sampler.New(cfg.Sampling)
+		smp.BindMetrics(cfg.Metrics)
+		for r, rc := range ranks {
+			rc.samp = smp.AddRank(r, rc.sensor)
+		}
+		for i, n := range system.Nodes {
+			smp.AddNode(i, pmt.NewCray(n, pmt.CrayNode, 0))
+		}
+		smp.PollAll()
+	}
+
 	// Job setup phase: launch, allocation, host→device transfer. GPUs are
 	// mostly idle (the paper's §IV-A observation that setup energy is
 	// limited because the GPUs idle through it); the host is busy staging.
@@ -259,6 +297,7 @@ func Run(cfg Config) (*Result, error) {
 			rt.tr.Complete(telemetry.GlobalTrack, "phase", "job-setup", 0, cfg.SetupS,
 				telemetry.Float("energy_j", setupJ))
 		}
+		smp.PollAll()
 	}
 
 	// Strategy setup (once per rank, before the loop — the paper's
@@ -311,7 +350,9 @@ func Run(cfg Config) (*Result, error) {
 				}
 				gpuStart[r] = rc.sensor.Read()
 				desc := fn.Kernel(cfg.ParticlesPerRank*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
-				return rc.dev.Execute(desc)
+				dur := rc.dev.Execute(desc)
+				rc.samp.Poll()
+				return dur
 			})
 			waits := world.Synchronize(durs)
 			rt.phaseWaits(waits)
@@ -322,6 +363,7 @@ func Run(cfg Config) (*Result, error) {
 			world.Execute(func(r int) float64 {
 				rc := ranks[r]
 				rc.dev.Idle(waits[r] + tail)
+				rc.samp.Poll()
 				return 0
 			})
 			for r := range ranks {
@@ -341,6 +383,7 @@ func Run(cfg Config) (*Result, error) {
 				auxBefore[i] = n.Aux.EnergyJ()
 				n.AdvanceHost(phaseS, fn.CPUUtil, fn.MemUtil)
 			}
+			smp.PollNodes()
 
 			// Per-rank attribution: GPU energy from the rank's own sensor,
 			// host energy as the rank's share of its node's delta.
@@ -401,6 +444,19 @@ func Run(cfg Config) (*Result, error) {
 		memJ: report.MemEnergyJ, otherJ: report.OtherEnergyJ,
 	})
 
+	// Final sampler flush, then the span join: sampled series against
+	// kernel/function spans, gated by the documented tolerance contract at
+	// the sampler's own rate.
+	var attribution *attrib.Attribution
+	if smp != nil {
+		smp.PollAll()
+		if cfg.Tracer != nil {
+			attribution = attrib.Build(cfg.Tracer.Spans(), smp.RankSeries(),
+				attrib.Options{RateHz: smp.Config().GPUHz})
+			report.Attribution = attribution
+		}
+	}
+
 	return &Result{
 		Report:          report,
 		System:          system,
@@ -409,6 +465,8 @@ func Run(cfg Config) (*Result, error) {
 		StepBoundariesS: stepBounds,
 		SetupTimeS:      cfg.SetupS,
 		SetupEnergyJ:    setupJ,
+		Sampler:         smp,
+		Attribution:     attribution,
 	}, nil
 }
 

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -45,6 +46,21 @@ type Device struct {
 	trace      *Trace
 	kernelsRun int64
 	obs        Observer
+
+	// kstats accumulates ground-truth per-kernel time/energy from the
+	// model's own integration — the reference the sampling-based
+	// attribution layer validates against.
+	kstats map[string]*KernelEnergy
+}
+
+// KernelEnergy is the model's ground-truth accounting for one kernel:
+// exact integrated energy and busy time across all launches, independent
+// of any sampling rate.
+type KernelEnergy struct {
+	Name     string
+	Launches int64
+	TimeS    float64
+	EnergyJ  float64
 }
 
 // Observer receives device events for external telemetry: completed kernel
@@ -291,6 +307,17 @@ func (d *Device) Execute(k KernelDesc) float64 {
 	d.busyS += dur
 	d.updateUtilLocked(dur, 1)
 	d.kernelsRun += int64(k.launches())
+	if d.kstats == nil {
+		d.kstats = map[string]*KernelEnergy{}
+	}
+	ks, ok := d.kstats[k.Name]
+	if !ok {
+		ks = &KernelEnergy{Name: k.Name}
+		d.kstats[k.Name] = ks
+	}
+	ks.Launches += int64(k.launches())
+	ks.TimeS += dur
+	ks.EnergyJ += d.energyJ - startJ
 	obs, clock, energy := d.obs, d.currentClockLocked(), d.energyJ-startJ
 	d.mu.Unlock()
 	if obs != nil {
@@ -412,6 +439,24 @@ func (d *Device) ThrottleReasons() ThrottleReason {
 		r |= ThrottlePowerCap
 	}
 	return r
+}
+
+// KernelEnergies snapshots the ground-truth per-kernel accounting, sorted
+// by descending energy.
+func (d *Device) KernelEnergies() []KernelEnergy {
+	d.mu.Lock()
+	out := make([]KernelEnergy, 0, len(d.kstats))
+	for _, ks := range d.kstats {
+		out = append(out, *ks)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].EnergyJ != out[b].EnergyJ {
+			return out[a].EnergyJ > out[b].EnergyJ
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
 }
 
 // BusySeconds returns the cumulative kernel-execution time.

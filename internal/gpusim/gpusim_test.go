@@ -469,3 +469,48 @@ func TestPureRooflineOverlapAblation(t *testing.T) {
 		t.Errorf("roofline beta %v, want all-or-nothing", bRoof)
 	}
 }
+
+func TestKernelEnergiesGroundTruth(t *testing.T) {
+	d := NewDevice(A100SXM480GB(), 0)
+	if _, err := d.SetApplicationClocks(0, 1005); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		d.Execute(computeKernel())
+	}
+	d.Execute(memKernel())
+	d.Idle(0.5)
+
+	ks := d.KernelEnergies()
+	if len(ks) != 2 {
+		t.Fatalf("kernels = %d, want 2", len(ks))
+	}
+	byName := map[string]KernelEnergy{}
+	var sumJ, sumT float64
+	for _, k := range ks {
+		byName[k.Name] = k
+		sumJ += k.EnergyJ
+		sumT += k.TimeS
+	}
+	if byName["compute"].Launches != 3 || byName["memory"].Launches != 1 {
+		t.Fatalf("launch counts = %+v", byName)
+	}
+	if byName["compute"].EnergyJ <= 0 || byName["memory"].EnergyJ <= 0 {
+		t.Fatal("kernel energies must be positive")
+	}
+	// Per-kernel accounting + idle must reconstruct the device counter.
+	idleJ := 0.5 * A100SXM480GB().IdlePowerW
+	total := d.EnergyJ()
+	if diff := total - sumJ - idleJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum(kernels)+idle = %v, device counter = %v", sumJ+idleJ, total)
+	}
+	if bt := d.BusySeconds(); bt-sumT > 1e-12 || sumT-bt > 1e-12 {
+		t.Fatalf("sum kernel time %v != busy seconds %v", sumT, bt)
+	}
+	// Sorted by descending energy.
+	for i := 1; i < len(ks); i++ {
+		if ks[i].EnergyJ > ks[i-1].EnergyJ {
+			t.Fatal("KernelEnergies not sorted by energy")
+		}
+	}
+}

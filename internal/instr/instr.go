@@ -13,6 +13,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"sphenergy/internal/attrib"
 )
 
 // FunctionStats accumulates measurements for one instrumented function on
@@ -219,6 +221,12 @@ type Report struct {
 	CPUEnergyJ   float64 `json:"cpu_energy_j"`
 	MemEnergyJ   float64 `json:"mem_energy_j"`
 	OtherEnergyJ float64 `json:"other_energy_j"`
+	// Attribution carries the async sampler's span-joined per-kernel and
+	// per-function energy/EDP tables when the run sampled power.
+	Attribution *attrib.Attribution `json:"attribution,omitempty"`
+	// Validation carries the cross-source energy check (model reference vs
+	// sampled sensors vs pm_counters vs Slurm accounting) when one was run.
+	Validation *attrib.Validation `json:"validation,omitempty"`
 }
 
 // EDP returns the energy-delay product of the run in J·s.

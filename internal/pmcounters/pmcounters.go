@@ -10,6 +10,20 @@
 //   - readings update at the collection rate, so two reads within one
 //     period return the same value (the quantization the paper's §IV-A
 //     validation has to live with).
+//
+// # Sampling-rate contract
+//
+// Counters refresh only on collection ticks: a read at virtual time t
+// reflects the hardware state at tick floor(t*CollectionHz)/CollectionHz,
+// never later. The freshness file carries that tick count, so consumers
+// can detect a stale read. Ticks are not backfilled — if several periods
+// elapse between reads, intermediate samples simply never existed, and the
+// next read jumps straight to the current tick. Consequently a consumer
+// sampling the energy file at rate f sees at most min(f, CollectionHz)
+// distinct values per second, and energy deltas between consecutive reads
+// are quantized to whole collection periods. Cross-source validation
+// against these counters must therefore tolerate up to one period's worth
+// of energy (node power / CollectionHz) of skew per endpoint.
 package pmcounters
 
 import (

@@ -156,3 +156,54 @@ func TestPowerReflectsComponents(t *testing.T) {
 		t.Errorf("node power %v below aux floor %v", p, min)
 	}
 }
+
+// TestFreshnessTimestampSemantics pins the freshness contract: the
+// freshness file is the collection-tick count floor(now*CollectionHz) of
+// the last refresh. When virtual time advances with no intervening reads,
+// the next read jumps freshness straight to the current tick (ticks are
+// not backfilled), and repeated reads at the same virtual time return the
+// identical snapshot.
+func TestFreshnessTimestampSemantics(t *testing.T) {
+	node := cluster.NewNode(cluster.LUMIG(), 0)
+	for _, d := range node.Devices {
+		d.Idle(1.0)
+	}
+	node.AdvanceHost(1.0, 0.2, 0.2)
+	c := New(node)
+
+	f1 := New(node).Files()["freshness"]
+	files := c.Files()
+	if files["freshness"] != "10" {
+		t.Fatalf("freshness at t=1.0 s = %q, want \"10\" (tick count at 10 Hz)", files["freshness"])
+	}
+	if f1 != files["freshness"] {
+		t.Errorf("two views at the same time disagree: %q vs %q", f1, files["freshness"])
+	}
+
+	// Re-read with no clock movement: identical snapshot, same freshness.
+	again := c.Files()
+	if again["freshness"] != files["freshness"] || again["energy"] != files["energy"] {
+		t.Errorf("re-read at same time changed snapshot: %v -> %v", files, again)
+	}
+
+	// Advance 0.57 s in one go (5 collection periods elapse unread): the
+	// next read reports the latest tick only, floor(1.57*10) = 15.
+	for _, d := range node.Devices {
+		d.Idle(0.57)
+	}
+	node.AdvanceHost(0.57, 0.2, 0.2)
+	files = c.Files()
+	if files["freshness"] != "15" {
+		t.Errorf("freshness after jump to t=1.57 s = %q, want \"15\"", files["freshness"])
+	}
+
+	// Advance within the current 10 Hz quantum (1.57 s -> 1.59 s stays on
+	// tick 15): freshness must hold still.
+	for _, d := range node.Devices {
+		d.Idle(0.02)
+	}
+	node.AdvanceHost(0.02, 0.2, 0.2)
+	if got := c.Files()["freshness"]; got != "15" {
+		t.Errorf("freshness moved within one period: %q", got)
+	}
+}

@@ -66,6 +66,21 @@ type Sensor interface {
 	Read() State
 }
 
+// backender is implemented by sensors that know their back-end; BackendOf
+// falls back to BackendDummy for anything else.
+type backender interface {
+	Backend() Backend
+}
+
+// BackendOf reports the back-end a sensor measures through, BackendDummy
+// when unknown. Callers use this to pick per-backend sampling rates.
+func BackendOf(s Sensor) Backend {
+	if b, ok := s.(backender); ok {
+		return b.Backend()
+	}
+	return BackendDummy
+}
+
 // nvmlSensor measures one Nvidia device through the NVML energy counter.
 type nvmlSensor struct {
 	dev nvml.Device
@@ -75,6 +90,9 @@ type nvmlSensor struct {
 func NewNVML(dev nvml.Device) Sensor { return &nvmlSensor{dev: dev} }
 
 func (s *nvmlSensor) Name() string { return fmt.Sprintf("nvml:%s", s.dev.Name()) }
+
+// Backend implements the back-end probe used by BackendOf.
+func (s *nvmlSensor) Backend() Backend { return BackendNVML }
 
 func (s *nvmlSensor) Read() State {
 	mj, _ := s.dev.TotalEnergyConsumption()
@@ -96,6 +114,9 @@ func NewRSMI(lib *rsmi.Library, idx int, dev *gpusim.Device) Sensor {
 
 func (s *rsmiSensor) Name() string { return fmt.Sprintf("rocm:%d", s.idx) }
 
+// Backend implements the back-end probe used by BackendOf.
+func (s *rsmiSensor) Backend() Backend { return BackendRSMI }
+
 func (s *rsmiSensor) Read() State {
 	uj, _ := s.lib.DevEnergyCountGet(s.idx)
 	return State{TimeS: s.dev.Now(), EnergyJ: float64(uj) / 1e6}
@@ -116,6 +137,9 @@ func NewRAPL(reader *rapl.Reader, cpu *cluster.CPU, pkg int) Sensor {
 }
 
 func (s *raplSensor) Name() string { return fmt.Sprintf("rapl:pkg%d", s.pkg) }
+
+// Backend implements the back-end probe used by BackendOf.
+func (s *raplSensor) Backend() Backend { return BackendRAPL }
 
 func (s *raplSensor) Read() State {
 	j, _ := s.reader.Poll()
@@ -147,6 +171,9 @@ func NewCray(node *cluster.Node, component CrayComponent, card int) Sensor {
 	return &craySensor{pc: pmcounters.New(node), component: component, card: card, node: node}
 }
 
+// Backend implements the back-end probe used by BackendOf.
+func (s *craySensor) Backend() Backend { return BackendCray }
+
 func (s *craySensor) Name() string {
 	if s.component == CrayAccel {
 		return fmt.Sprintf("cray:accel%d_energy", s.card)
@@ -177,6 +204,9 @@ func (Dummy) Name() string { return "dummy" }
 
 // Read implements Sensor.
 func (Dummy) Read() State { return State{} }
+
+// Backend implements the back-end probe used by BackendOf.
+func (Dummy) Backend() Backend { return BackendDummy }
 
 // Multi aggregates several sensors into one (e.g. GPU + CPU for a rank's
 // combined footprint). Timestamps take the furthest-advanced sensor.

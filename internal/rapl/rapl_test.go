@@ -125,3 +125,73 @@ func TestEnergyUnit(t *testing.T) {
 		t.Error("wrap period mismatch")
 	}
 }
+
+// TestReaderMultipleWraps walks the true energy across several full
+// 32-bit counter wraps (~262 kJ each at the default unit), polling twice
+// per wrap period; the unwrapped total must track ground truth to within
+// quantization error the whole way.
+func TestReaderMultipleWraps(t *testing.T) {
+	src := &fakeSource{}
+	r := New(src)
+	rd, err := r.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Poll()
+	wrapJ := r.MaxCounterJoules()
+	if math.Abs(wrapJ-math.Exp2(32)*EnergyUnitJ) > 1e-9 {
+		t.Fatalf("wrap period %v J", wrapJ)
+	}
+	// 3.5 wraps in half-wrap steps: 7 polls, each within the Nyquist bound.
+	var got float64
+	for step := 1; step <= 7; step++ {
+		src.j = float64(step) * wrapJ / 2
+		got, err = rd.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each poll quantizes to one counter unit; errors accumulate.
+		tol := float64(step+1) * EnergyUnitJ
+		if math.Abs(got-src.j) > tol {
+			t.Fatalf("after %.0f J (%d polls): unwrapped %.6f J (off by %g)",
+				src.j, step, got, got-src.j)
+		}
+	}
+	if got < 3*wrapJ {
+		t.Fatalf("total %v J never crossed 3 wraps (%v J)", got, 3*wrapJ)
+	}
+}
+
+// TestReaderSlowPollUndercounts is the regression contract for the
+// documented constraint on Reader.Poll: polling slower than the wrap
+// period loses exactly the wrapped multiples of MaxCounterJoules. The
+// failure mode must be a silent undercount of k*wrapJ — never a negative
+// delta or an error — matching real RAPL consumers.
+func TestReaderSlowPollUndercounts(t *testing.T) {
+	src := &fakeSource{}
+	r := New(src)
+	rd, _ := r.NewReader(0)
+	rd.Poll()
+	wrapJ := r.MaxCounterJoules()
+
+	// 2.25 wraps between two polls: the reader can only see the 0.25.
+	src.j = 2.25 * wrapJ
+	got, err := rd.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25 * wrapJ
+	if math.Abs(got-want) > 2*EnergyUnitJ {
+		t.Fatalf("slow poll accumulated %v J, want the aliased %v J", got, want)
+	}
+	if got < 0 {
+		t.Fatal("unwrapped energy went negative")
+	}
+
+	// Subsequent in-bound polling resumes exact tracking of new energy.
+	src.j += 100
+	got2, _ := rd.Poll()
+	if math.Abs(got2-(want+100)) > 3*EnergyUnitJ {
+		t.Fatalf("post-alias poll %v J, want %v J", got2, want+100)
+	}
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"sphenergy/internal/attrib"
+)
+
+// RenderAttribution prints the sampler-joined energy attribution: the
+// top-n kernels aggregated across ranks (all when n <= 0) with their
+// sampled-vs-model error and EDP, followed by per-rank totals and the
+// two-gate verdict. Unresolvable rows — mean call shorter than the
+// sampler can resolve — are marked with '~' so the rate/resolution
+// trade-off stays visible in the output.
+func RenderAttribution(a *attrib.Attribution, n int) string {
+	if a == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-kernel energy attribution (sampled @ %.4g Hz)\n", a.Opts.RateHz)
+	fmt.Fprintf(&sb, "%-24s %8s %10s %12s %12s %8s %14s\n",
+		"kernel", "calls", "time[s]", "model[J]", "sampled[J]", "err[%]", "EDP[J*s]")
+	for _, r := range a.TopKernels(n) {
+		name := r.Name
+		if !r.Resolvable {
+			name += " ~"
+		}
+		fmt.Fprintf(&sb, "%-24s %8d %10.4f %12.1f %12.1f %8.3f %14.4g\n",
+			name, r.Calls, r.TimeS, r.ModelJ, r.SampledJ, r.ErrPct, r.EDPJs)
+	}
+	if hasUnresolvable(a.Kernels) {
+		sb.WriteString("  (~ below sampler resolution; excluded from the per-row gate)\n")
+	}
+	fmt.Fprintf(&sb, "%-24s %8s %10s %12s %12s %8s\n",
+		"rank", "", "samples", "model[J]", "sampled[J]", "err[%]")
+	for _, rs := range a.Ranks {
+		fmt.Fprintf(&sb, "%-24d %8s %10d %12.1f %12.1f %8.3f\n",
+			rs.Rank, "", rs.Samples, rs.ModelJ, rs.SampledJ, rs.ErrPct)
+	}
+	verdict := "PASS"
+	if !a.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "%s: aggregate err %.3f%%, worst resolvable err %.3f%% (tolerance %.3g%%)\n",
+		verdict, a.AggErrPct, a.MaxResolvableErrPct, a.Opts.TolerancePct)
+	return sb.String()
+}
+
+func hasUnresolvable(rows []attrib.Row) bool {
+	for _, r := range rows {
+		if !r.Resolvable {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderValidation prints the cross-source energy comparison as a table
+// against the model reference, with the Fig. 3-style informational rows
+// marked, closing with the one-line verdict.
+func RenderValidation(v *attrib.Validation) string {
+	if v == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cross-source energy validation (reference %.1f J)\n", v.ReferenceJ)
+	fmt.Fprintf(&sb, "%-18s %14s %10s %8s\n", "source", "energy[J]", "err[%]", "verdict")
+	for _, s := range v.Sources {
+		verdict := "ok"
+		switch {
+		case s.Informational:
+			verdict = "info"
+		case !s.Pass:
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-18s %14.1f %10.3f %8s\n", s.Name, s.EnergyJ, s.RelErrPct, verdict)
+	}
+	sb.WriteString(v.Summary() + "\n")
+	return sb.String()
+}

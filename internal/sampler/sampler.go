@@ -1,0 +1,519 @@
+// Package sampler implements PMT's asynchronous sampling mode over the
+// simulated sensors: a background sampler that observes any set of
+// pmt.Sensors on fixed per-backend tick grids (100 Hz for the in-band GPU
+// counters, 10 Hz for the out-of-band Cray/BMC node counters, mirroring the
+// real toolkit's measurement threads).
+//
+// Time in the repository is virtual, so "background" means logically
+// concurrent with the instrumented application: whenever the application's
+// clock advances past a hook point, the owning goroutine calls
+// Channel.Poll, and the channel emits every tick sample that became due
+// since the previous poll. Cumulative energy at each tick is linearly
+// interpolated between the bracketing sensor reads — exact whenever power
+// is constant across the poll window (one kernel batch, one idle stretch),
+// and carrying precisely the rate-dependent discretization error a real
+// fixed-rate sampler would, which internal/attrib's error model quantifies.
+//
+// Channels keep their series in bounded ring buffers (old samples are
+// dropped, not reallocated), accumulate energy overflow-safely (counter
+// wraps and resets clamp to zero delta instead of going negative, and the
+// running sum is Kahan-compensated), and track per-sensor staleness and
+// jitter statistics. BindMetrics mirrors every channel into a telemetry
+// registry as live power gauges and cumulative energy counters.
+package sampler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"sphenergy/internal/pmt"
+	"sphenergy/internal/telemetry"
+)
+
+// Default sampling rates, following the real PMT's per-backend defaults:
+// in-band counters (NVML, ROCm-SMI, RAPL) sustain ~100 Hz; the out-of-band
+// Cray pm_counters/BMC path collects at 10 Hz.
+const (
+	DefaultGPUHz  = 100
+	DefaultNodeHz = 10
+)
+
+// DefaultRingCap bounds each channel's in-memory series. At 100 Hz this
+// covers ~10 minutes of virtual time before the oldest samples rotate out.
+const DefaultRingCap = 1 << 16
+
+// Config configures the sampler. The zero value means "sampling off";
+// setting either rate enables it (Defaulted fills the other).
+type Config struct {
+	// GPUHz is the tick rate for in-band per-device sensors (NVML/RSMI/RAPL).
+	GPUHz float64
+	// NodeHz is the tick rate for out-of-band node sensors (pm_counters).
+	NodeHz float64
+	// RingCap bounds each channel's sample buffer (DefaultRingCap when 0).
+	RingCap int
+}
+
+// Enabled reports whether any sampling rate is configured.
+func (c Config) Enabled() bool { return c.GPUHz > 0 || c.NodeHz > 0 }
+
+// Defaulted fills unset fields of an enabled config.
+func (c Config) Defaulted() Config {
+	if !c.Enabled() {
+		return c
+	}
+	if c.GPUHz <= 0 {
+		c.GPUHz = DefaultGPUHz
+	}
+	if c.NodeHz <= 0 {
+		c.NodeHz = DefaultNodeHz
+	}
+	if c.RingCap <= 0 {
+		c.RingCap = DefaultRingCap
+	}
+	return c
+}
+
+// RateFor returns the configured tick rate for a PMT back-end: node-level
+// (Cray/BMC and the dummy fallback) sensors sample at NodeHz, everything
+// in-band at GPUHz.
+func (c Config) RateFor(b pmt.Backend) float64 {
+	switch b {
+	case pmt.BackendCray, pmt.BackendDummy:
+		return c.NodeHz
+	}
+	return c.GPUHz
+}
+
+// Sample is one fixed-rate observation of a sensor.
+type Sample struct {
+	// TimeS is the tick's virtual time (an exact multiple of the period).
+	TimeS float64
+	// EnergyJ is the unwrapped cumulative energy since the channel started.
+	EnergyJ float64
+	// PowerW is the mean power over the tick interval ending at TimeS.
+	PowerW float64
+}
+
+// Stats summarizes a channel's sampling behaviour.
+type Stats struct {
+	Name   string
+	Rank   int // -1 for node-level channels
+	RateHz float64
+	// Polls counts sensor reads; Ticks counts emitted grid samples.
+	Polls, Ticks uint64
+	// Dropped counts samples rotated out of the bounded ring.
+	Dropped uint64
+	// MaxPollGapS is the worst observed staleness: the longest stretch of
+	// virtual time between two sensor reads (every tick inside such a gap
+	// is interpolated, not observed).
+	MaxPollGapS float64
+	// GapJitterS is the standard deviation of the inter-poll gaps.
+	GapJitterS float64
+	// AccumJ is the overflow-safe cumulative energy since the first poll.
+	AccumJ float64
+	// LastTimeS is the sensor time of the most recent poll.
+	LastTimeS float64
+}
+
+// Channel samples one sensor on a fixed tick grid. A nil *Channel is a
+// valid no-op, so call sites can poll unconditionally.
+type Channel struct {
+	mu sync.Mutex
+
+	name    string
+	rank    int
+	sensor  pmt.Sensor
+	periodS float64
+
+	// ring buffer
+	buf     []Sample
+	head    int
+	cap     int
+	dropped uint64
+
+	// accumulation state
+	started  bool
+	last     pmt.State
+	accumJ   float64
+	kahanC   float64 // Kahan compensation for accumJ
+	tick     int64   // next tick index; tick time = tick * periodS
+	lastTick Sample  // most recent emitted sample
+
+	// stats
+	polls     uint64
+	ticks     uint64
+	maxGapS   float64
+	gapSumS   float64
+	gapSumSqS float64
+
+	// bound metrics (nil when unbound)
+	mPower  *telemetry.Gauge
+	mEnergy *telemetry.Counter
+	mTicks  *telemetry.Counter
+	mDrops  *telemetry.Counter
+}
+
+// Name returns the channel's sensor label.
+func (c *Channel) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Rank returns the MPI rank the channel is bound to, -1 for node channels.
+func (c *Channel) Rank() int {
+	if c == nil {
+		return -1
+	}
+	return c.rank
+}
+
+// RateHz returns the channel's tick rate.
+func (c *Channel) RateHz() float64 {
+	if c == nil {
+		return 0
+	}
+	return 1 / c.periodS
+}
+
+// Poll reads the sensor and emits every tick sample due since the previous
+// poll, interpolating cumulative energy between the two reads. The first
+// poll establishes the energy baseline. Safe to call from the goroutine
+// driving the sensor's device; distinct channels never share state.
+func (c *Channel) Poll() {
+	if c == nil {
+		return
+	}
+	st := c.sensor.Read()
+	c.mu.Lock()
+	c.polls++
+	if !c.started {
+		c.started = true
+		c.last = st
+		// First tick at the first grid point at or after the baseline.
+		c.tick = int64(math.Ceil(st.TimeS/c.periodS - 1e-9))
+		c.lastTick = Sample{TimeS: st.TimeS}
+		c.mu.Unlock()
+		return
+	}
+	gap := st.TimeS - c.last.TimeS
+	if gap < 0 {
+		// Sensor time went backwards (should not happen); resynchronize.
+		c.last = st
+		c.mu.Unlock()
+		return
+	}
+	deltaJ := st.EnergyJ - c.last.EnergyJ
+	if deltaJ < 0 {
+		// Counter wrap or reset: clamp to zero rather than accumulating a
+		// negative delta — the overflow-safe contract.
+		deltaJ = 0
+	}
+	if gap > 0 {
+		if gap > c.maxGapS {
+			c.maxGapS = gap
+		}
+		c.gapSumS += gap
+		c.gapSumSqS += gap * gap
+	}
+	// Emit every tick in (last.TimeS, st.TimeS].
+	startAccum := c.accumJ
+	ticksBefore, dropsBefore := c.ticks, c.dropped
+	for {
+		tickT := float64(c.tick) * c.periodS
+		if tickT > st.TimeS+1e-12 {
+			break
+		}
+		frac := 1.0
+		if gap > 0 {
+			frac = (tickT - c.last.TimeS) / gap
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+		}
+		e := startAccum + deltaJ*frac
+		p := 0.0
+		if dt := tickT - c.lastTick.TimeS; dt > 0 {
+			p = (e - c.lastTick.EnergyJ) / dt
+		}
+		s := Sample{TimeS: tickT, EnergyJ: e, PowerW: p}
+		c.push(s)
+		c.lastTick = s
+		c.ticks++
+		c.tick++
+	}
+	c.kahanAdd(deltaJ)
+	c.last = st
+	mPower, mEnergy, mTicks, mDrops := c.mPower, c.mEnergy, c.mTicks, c.mDrops
+	meanW := 0.0
+	if gap > 0 {
+		meanW = deltaJ / gap
+	}
+	newTicks, newDrops := c.ticks-ticksBefore, c.dropped-dropsBefore
+	c.mu.Unlock()
+
+	// Metric updates run outside the channel lock; gauges/counters are
+	// atomic and nil-safe.
+	if gap > 0 {
+		mPower.Set(meanW)
+	}
+	mEnergy.Add(deltaJ)
+	mTicks.Add(float64(newTicks))
+	mDrops.Add(float64(newDrops))
+}
+
+// kahanAdd accumulates deltaJ into accumJ with Kahan compensation, keeping
+// the cumulative sum accurate over millions of small tick deltas; caller
+// holds c.mu.
+func (c *Channel) kahanAdd(deltaJ float64) {
+	y := deltaJ - c.kahanC
+	t := c.accumJ + y
+	c.kahanC = (t - c.accumJ) - y
+	c.accumJ = t
+}
+
+// push appends one sample to the bounded ring; caller holds c.mu.
+func (c *Channel) push(s Sample) {
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, s)
+		return
+	}
+	c.buf[c.head] = s
+	c.head = (c.head + 1) % len(c.buf)
+	c.dropped++
+}
+
+// Samples returns the retained series in time order.
+func (c *Channel) Samples() []Sample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sample, 0, len(c.buf))
+	out = append(out, c.buf[c.head:]...)
+	out = append(out, c.buf[:c.head]...)
+	return out
+}
+
+// AccumJ returns the overflow-safe cumulative energy since the first poll.
+func (c *Channel) AccumJ() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.accumJ
+}
+
+// Stats returns the channel's sampling statistics.
+func (c *Channel) Stats() Stats {
+	if c == nil {
+		return Stats{Rank: -1}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Name:        c.name,
+		Rank:        c.rank,
+		RateHz:      1 / c.periodS,
+		Polls:       c.polls,
+		Ticks:       c.ticks,
+		Dropped:     c.dropped,
+		MaxPollGapS: c.maxGapS,
+		AccumJ:      c.accumJ,
+		LastTimeS:   c.last.TimeS,
+	}
+	if n := float64(c.polls - 1); n > 1 {
+		mean := c.gapSumS / n
+		varS := c.gapSumSqS/n - mean*mean
+		if varS > 0 {
+			st.GapJitterS = math.Sqrt(varS)
+		}
+	}
+	return st
+}
+
+// bind wires the channel's metrics; caller holds the sampler lock.
+func (c *Channel) bind(reg *telemetry.Registry) {
+	labels := []telemetry.Label{telemetry.L("sensor", c.name)}
+	if c.rank >= 0 {
+		labels = append(labels, telemetry.L("rank", strconv.Itoa(c.rank)))
+	}
+	c.mu.Lock()
+	c.mPower = reg.Gauge("sampled_power_w",
+		"instantaneous power observed by the async sampler", labels...)
+	c.mEnergy = reg.Counter("sampled_energy_j_total",
+		"cumulative energy accumulated by the async sampler", labels...)
+	c.mTicks = reg.Counter("sampler_ticks_total",
+		"fixed-rate samples emitted per sensor", labels...)
+	c.mDrops = reg.Counter("sampler_dropped_total",
+		"samples rotated out of the bounded ring per sensor", labels...)
+	c.mu.Unlock()
+}
+
+// Sampler owns a set of channels. A nil *Sampler is a valid no-op.
+type Sampler struct {
+	mu       sync.Mutex
+	cfg      Config
+	channels []*Channel
+	reg      *telemetry.Registry
+}
+
+// New creates a sampler with the given (defaulted) config.
+func New(cfg Config) *Sampler {
+	return &Sampler{cfg: cfg.Defaulted()}
+}
+
+// Config returns the sampler's effective configuration.
+func (s *Sampler) Config() Config {
+	if s == nil {
+		return Config{}
+	}
+	return s.cfg
+}
+
+// Add registers a sensor under an explicit name, rank (use -1 for
+// node-level sensors) and rate; hz <= 0 selects the backend default via
+// Config.RateFor. Returns the new channel.
+func (s *Sampler) Add(name string, rank int, sensor pmt.Sensor, hz float64) *Channel {
+	if s == nil {
+		return nil
+	}
+	if hz <= 0 {
+		hz = s.cfg.RateFor(pmt.BackendOf(sensor))
+	}
+	if hz <= 0 {
+		hz = DefaultNodeHz
+	}
+	ch := &Channel{
+		name:    name,
+		rank:    rank,
+		sensor:  sensor,
+		periodS: 1 / hz,
+		cap:     s.cfg.RingCap,
+	}
+	s.mu.Lock()
+	s.channels = append(s.channels, ch)
+	reg := s.reg
+	s.mu.Unlock()
+	if reg != nil {
+		ch.bind(reg)
+	}
+	return ch
+}
+
+// AddRank registers a rank's GPU sensor at the backend default rate, named
+// after the sensor.
+func (s *Sampler) AddRank(rank int, sensor pmt.Sensor) *Channel {
+	if s == nil {
+		return nil
+	}
+	return s.Add(fmt.Sprintf("rank%d:%s", rank, sensor.Name()), rank, sensor, 0)
+}
+
+// AddNode registers a node-level sensor at the node rate.
+func (s *Sampler) AddNode(node int, sensor pmt.Sensor) *Channel {
+	if s == nil {
+		return nil
+	}
+	return s.Add(fmt.Sprintf("node%d:%s", node, sensor.Name()), -1, sensor, s.cfg.NodeHz)
+}
+
+// BindMetrics mirrors every channel (and all later-added ones) into the
+// registry: sampled_power_w gauges, sampled_energy_j_total counters, and
+// the sampler's own tick/drop counters.
+func (s *Sampler) BindMetrics(reg *telemetry.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg = reg
+	chs := append([]*Channel(nil), s.channels...)
+	s.mu.Unlock()
+	for _, ch := range chs {
+		ch.bind(reg)
+	}
+}
+
+// Channels returns all registered channels.
+func (s *Sampler) Channels() []*Channel {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Channel(nil), s.channels...)
+}
+
+// PollAll polls every channel (run start, setup end, final flush).
+func (s *Sampler) PollAll() {
+	for _, ch := range s.Channels() {
+		ch.Poll()
+	}
+}
+
+// PollNodes polls the node-level channels only; the coordinator calls this
+// at phase boundaries while rank channels poll from their own goroutines.
+func (s *Sampler) PollNodes() {
+	for _, ch := range s.Channels() {
+		if ch.rank < 0 {
+			ch.Poll()
+		}
+	}
+}
+
+// RankSeries returns each rank's sampled series, merging multiple channels
+// of the same rank in time order (the join input for internal/attrib).
+func (s *Sampler) RankSeries() map[int][]Sample {
+	out := map[int][]Sample{}
+	for _, ch := range s.Channels() {
+		if ch.rank < 0 {
+			continue
+		}
+		out[ch.rank] = append(out[ch.rank], ch.Samples()...)
+	}
+	for r := range out {
+		sort.Slice(out[r], func(a, b int) bool { return out[r][a].TimeS < out[r][b].TimeS })
+	}
+	return out
+}
+
+// NodeAccumJ sums the cumulative sampled energy of all node-level channels
+// — the "sampled sensors" reading of the three-way validation.
+func (s *Sampler) NodeAccumJ() float64 {
+	total := 0.0
+	for _, ch := range s.Channels() {
+		if ch.rank < 0 {
+			total += ch.AccumJ()
+		}
+	}
+	return total
+}
+
+// RankAccumJ sums the cumulative sampled energy of all rank channels.
+func (s *Sampler) RankAccumJ() float64 {
+	total := 0.0
+	for _, ch := range s.Channels() {
+		if ch.rank >= 0 {
+			total += ch.AccumJ()
+		}
+	}
+	return total
+}
+
+// Stats returns per-channel statistics in registration order.
+func (s *Sampler) Stats() []Stats {
+	chs := s.Channels()
+	out := make([]Stats, len(chs))
+	for i, ch := range chs {
+		out[i] = ch.Stats()
+	}
+	return out
+}

@@ -16,8 +16,10 @@ import (
 	"strings"
 	"time"
 
+	"sphenergy/internal/attrib"
 	"sphenergy/internal/core"
 	"sphenergy/internal/freqctl"
+	"sphenergy/internal/pmcounters"
 )
 
 // JobState mirrors Slurm's job states.
@@ -144,6 +146,40 @@ func (m *Manager) Submit(cfg core.Config, opts SubmitOptions) (*Job, error) {
 		job.ConsumedEnergyJ = res.SetupEnergyJ + res.Report.TotalEnergyJ
 	}
 	return job, nil
+}
+
+// ThreeWay reproduces the paper's cross-source energy validation (§IV-A,
+// Fig. 3) for a completed job: the model's exactly-integrated job energy
+// (setup + loop) is the reference, compared against (1) the async
+// sampler's node-sensor accumulation, (2) a direct pm_counters read of
+// every node, and (3) Slurm's ConsumedEnergy accounting. The loop-only
+// PMT measurement is added as an informational row — its deviation IS the
+// Fig. 3 setup-energy gap, not a measurement error. thresholdPct <= 0
+// selects the default 2% gate. The verdict is attached to the job's
+// report for serialization.
+func ThreeWay(job *Job, thresholdPct float64) (*attrib.Validation, error) {
+	if job == nil || job.Result == nil {
+		return nil, fmt.Errorf("slurm: three-way validation needs a completed job")
+	}
+	res := job.Result
+	if res.Sampler == nil {
+		return nil, fmt.Errorf("slurm: three-way validation needs async sampling (core.Config.Sampling)")
+	}
+	if job.ConsumedEnergyJ == 0 {
+		return nil, fmt.Errorf("slurm: three-way validation needs the energy TRES tracked")
+	}
+	referenceJ := res.SetupEnergyJ + res.Report.TotalEnergyJ
+	pmJ := 0.0
+	for _, n := range res.System.Nodes {
+		pmJ += pmcounters.New(n).Energy()
+	}
+	v := attrib.NewValidation(referenceJ, thresholdPct)
+	v.Add("sampled-sensors", res.Sampler.NodeAccumJ(), false)
+	v.Add("pm_counters", pmJ, false)
+	v.Add("slurm-consumed", job.ConsumedEnergyJ, false)
+	v.Add("pmt-loop-only", job.LoopEnergyJ, true)
+	res.Report.Validation = v
+	return v, nil
 }
 
 // Jobs returns the accounting records.

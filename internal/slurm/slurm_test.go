@@ -6,6 +6,7 @@ import (
 
 	"sphenergy/internal/cluster"
 	"sphenergy/internal/core"
+	"sphenergy/internal/sampler"
 )
 
 func smallJobConfig() core.Config {
@@ -177,5 +178,69 @@ func TestSubmitFailsOnBadConfig(t *testing.T) {
 	}
 	if job.State != StateFailed {
 		t.Errorf("state = %s, want FAILED", job.State)
+	}
+}
+
+func TestThreeWayValidation(t *testing.T) {
+	cfg := smallJobConfig()
+	cfg.Sampling = sampler.Config{GPUHz: 100, NodeHz: 10}
+	mgr := NewManager()
+	job, err := mgr.Submit(cfg, SubmitOptions{
+		JobName: "validate",
+		SetupS:  30,
+		TRES:    ParseTRES("billing,cpu,energy"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ThreeWay(job, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatalf("three-way validation failed: %s\n%+v", v.Summary(), v.Sources)
+	}
+	for _, name := range []string{"sampled-sensors", "pm_counters", "slurm-consumed"} {
+		s, ok := v.Get(name)
+		if !ok {
+			t.Fatalf("source %s missing", name)
+		}
+		if s.Informational {
+			t.Fatalf("source %s must gate the verdict", name)
+		}
+		if s.EnergyJ <= 0 {
+			t.Fatalf("source %s reads %g J", name, s.EnergyJ)
+		}
+	}
+	// The loop-only PMT row must show the Fig. 3 setup gap: below the
+	// reference, but informational so it does not fail the check.
+	loop, ok := v.Get("pmt-loop-only")
+	if !ok || !loop.Informational {
+		t.Fatalf("pmt-loop-only row = %+v (ok=%v)", loop, ok)
+	}
+	if loop.RelErrPct >= 0 {
+		t.Errorf("loop-only energy should sit below the job reference, rel err %+.2f%%", loop.RelErrPct)
+	}
+	if job.Result.Report.Validation != v {
+		t.Error("validation not attached to the report")
+	}
+	// Slurm's own row is exact by construction (same meters, same scope).
+	sl, _ := v.Get("slurm-consumed")
+	if sl.RelErrPct != 0 {
+		t.Errorf("slurm-consumed rel err = %g, want 0", sl.RelErrPct)
+	}
+}
+
+func TestThreeWayRequiresSamplerAndTRES(t *testing.T) {
+	mgr := NewManager()
+	job, err := mgr.Submit(smallJobConfig(), SubmitOptions{JobName: "plain", SetupS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ThreeWay(job, 2); err == nil {
+		t.Error("validation without sampling should error")
+	}
+	if _, err := ThreeWay(nil, 2); err == nil {
+		t.Error("nil job should error")
 	}
 }

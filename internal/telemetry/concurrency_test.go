@@ -1,4 +1,4 @@
-package telemetry
+package telemetry_test
 
 import (
 	"io"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sphenergy/internal/instr"
+	tele "sphenergy/internal/telemetry"
 )
 
 // TestConcurrentTelemetry hammers the telemetry hot paths — span emission,
@@ -20,20 +21,20 @@ func TestConcurrentTelemetry(t *testing.T) {
 		ranks      = 8
 		perRankOps = 200
 	)
-	tr := NewTracer(ranks)
-	reg := NewRegistry()
+	tr := tele.NewTracer(ranks)
+	reg := tele.NewRegistry()
 	profile := instr.NewRankProfile(0)
 	profile.SeriesEnabled = true
 
 	launches := reg.Counter("kernel_launches_total", "launches")
-	hist := reg.Histogram("step_energy_j", "energy", ExpBuckets(1, 10, 6))
+	hist := reg.Histogram("step_energy_j", "energy", tele.ExpBuckets(1, 10, 6))
 
 	var wg sync.WaitGroup
 	for r := 0; r < ranks; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			clock := reg.Gauge("gpu_clock_mhz", "clock", L("rank", strconv.Itoa(r)))
+			clock := reg.Gauge("gpu_clock_mhz", "clock", tele.L("rank", strconv.Itoa(r)))
 			// Interning races with other ranks interning the same and
 			// different identities; recording through the ref races with
 			// the generic path on the same shard.
@@ -41,9 +42,9 @@ func TestConcurrentTelemetry(t *testing.T) {
 			for i := 0; i < perRankOps; i++ {
 				ts := float64(i)
 				tr.Complete(r, "function", "momentumEnergy", ts, 0.5,
-					Int("clock_mhz", 1410), Float("gpu_j", 12.5))
-				tr.Instant(r, "freq", "freq-change", ts+0.1, Int("mhz", 1005))
-				tr.Counter(r, "gpu", ts+0.2, Float("power_w", 250))
+					tele.Int("clock_mhz", 1410), tele.Float("gpu_j", 12.5))
+				tr.Instant(r, "freq", "freq-change", ts+0.1, tele.Int("mhz", 1005))
+				tr.Counter(r, "gpu", ts+0.2, tele.Float("power_w", 250))
 				tr.CompleteRef(r, kernelRef, ts, 0.4, 1410, 9.5)
 				tr.RecordSpan(r, "mpi", "barrier-wait", ts+0.6, 0.05)
 				launches.Inc()

@@ -53,6 +53,19 @@ func Int(key string, value int) Attr { return Attr{Key: key, f: float64(value), 
 // Float builds a float attribute.
 func Float(key string, value float64) Attr { return Attr{Key: key, f: value, kind: attrFloat} }
 
+// Value unboxes the attribute (string, int64 or float64).
+func (a Attr) Value() any { return a.value() }
+
+// Float64 returns the attribute's numeric value, 0 for string attributes.
+// Span read-back consumers (energy attribution) use this to pull metric
+// args like "energy_j" out of kernel spans without type switches.
+func (a Attr) Float64() float64 {
+	if a.kind == attrString {
+		return 0
+	}
+	return a.f
+}
+
 // value unboxes the attribute for JSON export.
 func (a Attr) value() any {
 	switch a.kind {
@@ -301,6 +314,99 @@ func (t *Tracer) Len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// SpanEvent is the resolved, read-back view of one recorded event —
+// interned descriptors are expanded back into category/name/args. This is
+// the join surface for in-process consumers (energy attribution) that need
+// the recorded spans without going through JSON export.
+type SpanEvent struct {
+	// Track is the rank track the event was recorded on, GlobalTrack for
+	// the whole-run track.
+	Track    int
+	Category string
+	Name     string
+	StartS   float64
+	DurS     float64
+	// Instant marks zero-duration events ('i' phase).
+	Instant bool
+	Args    []Attr
+}
+
+// EndS returns the span's end time.
+func (e SpanEvent) EndS() float64 { return e.StartS + e.DurS }
+
+// Arg returns the named argument's numeric value (ok=false when absent).
+func (e SpanEvent) Arg(key string) (float64, bool) {
+	for _, a := range e.Args {
+		if a.Key == key {
+			return a.Float64(), true
+		}
+	}
+	return 0, false
+}
+
+// Spans snapshots all recorded complete and instant events (counter and
+// metadata records are skipped) across every track, resolving interned
+// descriptors. Events within one track appear in recording order; tracks
+// are concatenated rank 0..N then the global track. Safe to call while
+// recording continues.
+func (t *Tracer) Spans() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.descMu.Lock()
+	descs := append([]spanDesc(nil), t.descs...)
+	t.descMu.Unlock()
+	var out []SpanEvent
+	for tid := range t.shards {
+		track := tid
+		if tid == len(t.shards)-1 {
+			track = GlobalTrack
+		}
+		s := &t.shards[tid]
+		s.mu.Lock()
+		buf := make([]event, len(s.events))
+		copy(buf, s.events)
+		fast := make([]fastEvent, len(s.fast))
+		copy(fast, s.fast)
+		s.mu.Unlock()
+		for i := range buf {
+			e := &buf[i]
+			if e.ph != phaseComplete && e.ph != phaseInstant {
+				continue
+			}
+			se := SpanEvent{Track: track, Category: e.cat, Name: e.name,
+				StartS: e.startS, DurS: e.durS, Instant: e.ph == phaseInstant}
+			if n := int(e.nattr) + len(e.extra); n > 0 {
+				se.Args = make([]Attr, 0, n)
+				se.Args = append(se.Args, e.attrs[:e.nattr]...)
+				se.Args = append(se.Args, e.extra...)
+			}
+			out = append(out, se)
+		}
+		for i := range fast {
+			fe := &fast[i]
+			if int(fe.ref) >= len(descs) {
+				continue
+			}
+			if fe.ph != phaseComplete && fe.ph != phaseInstant {
+				continue
+			}
+			d := &descs[fe.ref]
+			se := SpanEvent{Track: track, Category: d.cat, Name: d.name,
+				StartS: fe.startS, DurS: fe.durS, Instant: fe.ph == phaseInstant}
+			if d.nkeys > 0 {
+				se.Args = make([]Attr, 0, d.nkeys)
+				se.Args = append(se.Args, Float(d.keys[0], fe.v0))
+				if d.nkeys > 1 {
+					se.Args = append(se.Args, Float(d.keys[1], fe.v1))
+				}
+			}
+			out = append(out, se)
+		}
+	}
+	return out
 }
 
 // WriteJSON exports the recorded events as Chrome trace_event JSON (the

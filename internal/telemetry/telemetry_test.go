@@ -181,3 +181,67 @@ func TestInternNilTracer(t *testing.T) {
 	tr.CompleteRef(0, ref, 0, 1, 2, 3) // must not panic
 	tr.InstantRef(0, ref, 0, 0, 0)
 }
+
+func TestSpansReadBack(t *testing.T) {
+	tr := NewTracer(2)
+	kernel := tr.Intern("kernel", "densityKernel", "clock_mhz", "energy_j")
+	tr.CompleteRef(1, kernel, 1.5, 0.25, 1005, 3.5)
+	tr.Complete(0, "function", "Domain::sync", 0.5, 0.4,
+		Float("gpu_j", 12), Float("comm_s", 0.1))
+	tr.Instant(0, "comm", "barrier-wait", 2.0)
+	tr.Complete(GlobalTrack, "step", "step 0", 0, 3)
+	tr.Counter(0, "clock", 1.0, Float("mhz", 1410)) // must be skipped
+	tr.SetTrackName(0, "rank 0")                    // must be skipped
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4 (counter/meta skipped)", len(spans))
+	}
+	byName := map[string]SpanEvent{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	k := byName["densityKernel"]
+	if k.Track != 1 || k.Category != "kernel" || k.StartS != 1.5 || k.DurS != 0.25 {
+		t.Errorf("kernel span = %+v", k)
+	}
+	if v, ok := k.Arg("energy_j"); !ok || v != 3.5 {
+		t.Errorf("kernel energy_j = %v (ok=%v)", v, ok)
+	}
+	if v, ok := k.Arg("clock_mhz"); !ok || v != 1005 {
+		t.Errorf("kernel clock_mhz = %v (ok=%v)", v, ok)
+	}
+	fn := byName["Domain::sync"]
+	if fn.Track != 0 || len(fn.Args) != 2 {
+		t.Errorf("function span = %+v", fn)
+	}
+	if fn.EndS() != 0.9 {
+		t.Errorf("EndS = %v, want 0.9", fn.EndS())
+	}
+	if !byName["barrier-wait"].Instant {
+		t.Error("instant flag lost")
+	}
+	if byName["step 0"].Track != GlobalTrack {
+		t.Errorf("global span track = %d", byName["step 0"].Track)
+	}
+
+	var nilT *Tracer
+	if nilT.Spans() != nil {
+		t.Error("nil tracer Spans should be nil")
+	}
+}
+
+func TestAttrValue(t *testing.T) {
+	if v := String("k", "x").Value(); v != "x" {
+		t.Errorf("string Value = %v", v)
+	}
+	if v := Int("k", 3).Value(); v != int64(3) {
+		t.Errorf("int Value = %v", v)
+	}
+	if v := Float("k", 2.5).Float64(); v != 2.5 {
+		t.Errorf("float Float64 = %v", v)
+	}
+	if v := String("k", "x").Float64(); v != 0 {
+		t.Errorf("string Float64 = %v, want 0", v)
+	}
+}
