@@ -2,15 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-energy bench bench-telemetry bench-json check experiments examples clean
+.PHONY: all build vet test race race-energy bench bench-telemetry bench-json bench-sph bench-sph-smoke check experiments examples clean
 
 all: build vet test
 
 # check is the CI gate: static vetting plus the full suite under the race
 # detector (includes the telemetry concurrency tests), with a focused
 # re-run of the energy attribution/validation path so a regression there
-# is named in the failure output rather than buried in ./...
-check: vet race race-energy
+# is named in the failure output rather than buried in ./..., and a short
+# SPH perf-harness smoke + pipeline-equivalence gate so the neighbor-list
+# fast path can't silently drift from the closure-walk reference.
+check: vet race race-energy bench-sph-smoke
 
 # The sampler/attribution/three-way-validation stack exercised under the
 # race detector: per-rank channels polled from rank goroutines while the
@@ -46,6 +48,20 @@ bench-telemetry:
 # `go test -bench SamplerOverhead ./internal/core/`.
 bench-json:
 	$(GO) run ./cmd/energybench -out BENCH_energy.json
+
+# Per-pass SPH pipeline timing (closure walk vs neighbor list) at the
+# tracked problem sizes, as machine-readable JSON. Every perf-relevant PR
+# should regenerate this and report the deltas.
+bench-sph:
+	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -out BENCH_sph.json
+
+# Fast correctness/liveness gate for `check`: a tiny sphbench run (exercises
+# both pipelines end to end), the walk-vs-list equivalence tests, and a
+# one-shot pass over the SPH micro-benchmarks.
+bench-sph-smoke:
+	$(GO) run ./cmd/sphbench -sizes 8 -steps 1 -warmup 1 -out /dev/null
+	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline' -count=1 ./internal/sph/
+	$(GO) test -run xxx -bench 'SPHStep$$' -benchtime 1x ./...
 
 # Regenerate every table/figure at the paper's step counts.
 experiments:

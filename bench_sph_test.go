@@ -9,10 +9,16 @@ import (
 )
 
 // benchmarkSPHStep drives the real Go SPH solver for b.N full pipeline
-// steps on an nSide³ turbulent box.
+// steps on an nSide³ turbulent box, using the default neighbor-list
+// pipeline.
 func benchmarkSPHStep(b *testing.B, nSide int) {
+	benchmarkSPHStepMode(b, nSide, false)
+}
+
+func benchmarkSPHStepMode(b *testing.B, nSide int, closureWalk bool) {
 	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
 	opt.NgTarget = 48
+	opt.ClosureWalk = closureWalk
 	st := sph.NewState(p, opt)
 	// Warm-up: settle smoothing lengths.
 	st.FindNeighbors()
@@ -30,6 +36,14 @@ func benchmarkSPHStep(b *testing.B, nSide int) {
 		st.UpdateQuantities(dt)
 	}
 	b.ReportMetric(float64(p.N), "particles")
+}
+
+// BenchmarkSPHStepWalk measures the legacy closure-walk pipeline at
+// BenchmarkSPHStep's size; the ratio of the two is the tracked
+// neighbor-list speedup (BENCH_sph.json records the same comparison with
+// per-pass resolution).
+func BenchmarkSPHStepWalk(b *testing.B) {
+	benchmarkSPHStepMode(b, 16, true)
 }
 
 // BenchmarkGravityTree measures Barnes-Hut tree build + traversal.

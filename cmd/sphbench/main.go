@@ -1,0 +1,158 @@
+// Command sphbench measures the real SPH compute layer pass by pass — the
+// per-function decomposition the paper attributes energy to — and writes
+// the results as machine-readable JSON for regression tracking. Each
+// problem size is run twice, once with the legacy closure-walk pipeline
+// and once with the persistent neighbor-list pipeline, so the file records
+// its own before/after comparison and future PRs diff against a stable
+// schema.
+//
+// Example:
+//
+//	sphbench -sizes 20,30 -steps 4 -out BENCH_sph.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"sphenergy/internal/initcond"
+	"sphenergy/internal/sph"
+)
+
+// passNames fixes the order and JSON keys of the timed pipeline passes.
+var passNames = []string{
+	"find_neighbors",
+	"xmass",
+	"gradh",
+	"eos",
+	"iad",
+	"av_switches",
+	"momentum_energy",
+	"timestep",
+	"update",
+}
+
+// modeResult is one pipeline variant's timing at one problem size.
+type modeResult struct {
+	// NsPerParticleStep maps each pass (plus "total") to nanoseconds per
+	// particle per step, averaged over the measured steps.
+	NsPerParticleStep map[string]float64 `json:"ns_per_particle_step"`
+	StepMs            float64            `json:"step_ms"`
+}
+
+// sizeResult is one problem size's before/after measurement.
+type sizeResult struct {
+	NSide    int                   `json:"n_side"`
+	N        int                   `json:"n"`
+	NgTarget int                   `json:"ng_target"`
+	Warmup   int                   `json:"warmup_steps"`
+	Steps    int                   `json:"measured_steps"`
+	Modes    map[string]modeResult `json:"modes"`
+	// SpeedupTotal is closure_walk step time over neighbor_list step time.
+	SpeedupTotal float64 `json:"speedup_total"`
+}
+
+type output struct {
+	Benchmark  string       `json:"benchmark"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Sizes      []sizeResult `json:"sizes"`
+}
+
+// runMode times every pipeline pass over the given number of steps on a
+// fresh Turbulence state. SFC reordering is disabled so both modes advance
+// identical trajectories and the comparison is pure pipeline cost.
+func runMode(nSide, warmup, steps int, closureWalk bool) (modeResult, int) {
+	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
+	opt.ClosureWalk = closureWalk
+	opt.ReorderEvery = 0
+	st := sph.NewState(p, opt)
+
+	acc := make(map[string]time.Duration, len(passNames))
+	timed := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		acc[name] += time.Since(t0)
+	}
+	for s := 0; s < warmup+steps; s++ {
+		if s == warmup {
+			for k := range acc {
+				delete(acc, k)
+			}
+		}
+		timed("find_neighbors", st.FindNeighbors)
+		timed("xmass", st.XMass)
+		timed("gradh", st.NormalizationGradh)
+		timed("eos", st.EquationOfState)
+		timed("iad", st.IADVelocityDivCurl)
+		timed("av_switches", func() { st.AVSwitches(st.Dt) })
+		timed("momentum_energy", st.MomentumEnergy)
+		var dt float64
+		timed("timestep", func() { dt = st.Timestep() })
+		timed("update", func() { st.UpdateQuantities(dt) })
+	}
+
+	res := modeResult{NsPerParticleStep: make(map[string]float64, len(passNames)+1)}
+	denom := float64(p.N) * float64(steps)
+	var total time.Duration
+	for _, name := range passNames {
+		d := acc[name]
+		total += d
+		res.NsPerParticleStep[name] = float64(d.Nanoseconds()) / denom
+	}
+	res.NsPerParticleStep["total"] = float64(total.Nanoseconds()) / denom
+	res.StepMs = float64(total.Nanoseconds()) / float64(steps) / 1e6
+	return res, opt.NgTarget
+}
+
+func main() {
+	sizes := flag.String("sizes", "20,30", "comma-separated lattice side lengths (n_side³ particles each)")
+	steps := flag.Int("steps", 4, "measured steps per run")
+	warmup := flag.Int("warmup", 1, "warmup steps excluded from timing")
+	out := flag.String("out", "BENCH_sph.json", "output path for the JSON results")
+	flag.Parse()
+
+	o := output{Benchmark: "sph_pipeline", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, tok := range strings.Split(*sizes, ",") {
+		nSide, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || nSide < 2 {
+			fmt.Fprintf(os.Stderr, "sphbench: bad size %q\n", tok)
+			os.Exit(1)
+		}
+		fmt.Printf("size %d³ (%d particles): closure walk...", nSide, nSide*nSide*nSide)
+		walk, ngTarget := runMode(nSide, *warmup, *steps, true)
+		fmt.Printf(" %.1f ms/step; neighbor list...", walk.StepMs)
+		list, _ := runMode(nSide, *warmup, *steps, false)
+		sr := sizeResult{
+			NSide:    nSide,
+			N:        nSide * nSide * nSide,
+			NgTarget: ngTarget,
+			Warmup:   *warmup,
+			Steps:    *steps,
+			Modes: map[string]modeResult{
+				"closure_walk":  walk,
+				"neighbor_list": list,
+			},
+			SpeedupTotal: walk.StepMs / list.StepMs,
+		}
+		fmt.Printf(" %.1f ms/step (%.2fx)\n", list.StepMs, sr.SpeedupTotal)
+		o.Sizes = append(o.Sizes, sr)
+	}
+
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

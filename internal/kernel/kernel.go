@@ -9,7 +9,10 @@
 // against the analytic forms.
 package kernel
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Kernel is a 3-D SPH smoothing kernel with compact support radius 2h.
 type Kernel interface {
@@ -294,4 +297,64 @@ func (t *Table) DW(r, h float64) float64 {
 		return 0
 	}
 	return t.lookup(t.dw, r/h) / (h * h * h * h)
+}
+
+// Base returns the analytic kernel the table was built from.
+func (t *Table) Base() Kernel { return t.base }
+
+// MaxRelError returns the maximum interpolation error of the table's W and
+// DW against the analytic base kernel, sampled at the bin midpoints (the
+// worst case for linear interpolation) and normalized by the respective
+// peak magnitude so near-zero tails don't inflate the ratio.
+func (t *Table) MaxRelError() (wErr, dwErr float64) {
+	dq := 2.0 / float64(t.points)
+	var wScale, dwScale, wMax, dwMax float64
+	for i := 0; i < t.points; i++ {
+		q := (float64(i) + 0.5) * dq
+		w := t.base.W(q, 1)
+		dw := t.base.DW(q, 1)
+		if v := math.Abs(w); v > wScale {
+			wScale = v
+		}
+		if v := math.Abs(dw); v > dwScale {
+			dwScale = v
+		}
+		if d := math.Abs(t.W(q, 1) - w); d > wMax {
+			wMax = d
+		}
+		if d := math.Abs(t.DW(q, 1) - dw); d > dwMax {
+			dwMax = d
+		}
+	}
+	if v := math.Abs(t.base.W(0, 1)); v > wScale {
+		wScale = v
+	}
+	if wScale > 0 {
+		wErr = wMax / wScale
+	}
+	if dwScale > 0 {
+		dwErr = dwMax / dwScale
+	}
+	return wErr, dwErr
+}
+
+// TableRelTol is the documented accuracy contract of checked tables: at
+// DefaultTablePoints resolution, linear interpolation stays within this
+// relative error of the analytic kernel for every kernel family in this
+// package (relative to the peak magnitude of W and DW respectively).
+const TableRelTol = 5e-6
+
+// DefaultTablePoints is the table resolution used by the solver defaults.
+const DefaultTablePoints = 2000
+
+// NewCheckedTable tabulates base and enforces the TableRelTol accuracy
+// gate, panicking when the resolution misses it — a misconfigured table
+// fails loudly at startup instead of silently degrading the physics.
+func NewCheckedTable(base Kernel, points int) *Table {
+	t := NewTable(base, points)
+	if wErr, dwErr := t.MaxRelError(); wErr > TableRelTol || dwErr > TableRelTol {
+		panic(fmt.Sprintf("kernel: %s table with %d points misses accuracy gate: wErr=%.3g dwErr=%.3g > %g",
+			base.Name(), points, wErr, dwErr, TableRelTol))
+	}
+	return t
 }

@@ -8,7 +8,9 @@ package neighbors
 
 import (
 	"math"
+	"sync"
 
+	"sphenergy/internal/par"
 	"sphenergy/internal/sfc"
 )
 
@@ -22,15 +24,28 @@ type Searcher interface {
 	CountNeighbors(i int, radius float64) int
 }
 
-// Grid is a cell-linked-list acceleration structure over a particle set.
+// Grid is a uniform-cell acceleration structure over a particle set. Cell
+// contents are stored CSR-style: cellOff[c]..cellOff[c+1] indexes into
+// order, which lists particle indices grouped by cell in ascending order.
+// The ascending order is invariant across serial and parallel builds, so
+// query iteration order — and therefore the floating-point summation order
+// of the SPH kernels — is deterministic.
 type Grid struct {
 	box        sfc.Box
 	nx, ny, nz int
 	cellSize   [3]float64
-	heads      []int32 // first particle index per cell, -1 if empty
-	next       []int32 // linked list per particle
+	cellOff    []int32 // ncells+1 prefix offsets into order
+	order      []int32 // particle indices grouped by cell, ascending within each
 	x, y, z    []float64
 }
+
+// parallelBuildMaxCells bounds the per-worker histogram memory of the
+// parallel build (workers × ncells int32 counters); grids finer than this
+// fall back to the serial counting sort.
+const parallelBuildMaxCells = 1 << 20
+
+// parallelBuildMinN is the particle count below which the serial build wins.
+const parallelBuildMinN = 1 << 14
 
 // BuildGrid creates a search grid for particles at (x, y, z) in the box,
 // sized for queries up to maxRadius.
@@ -44,17 +59,106 @@ func BuildGrid(box sfc.Box, x, y, z []float64, maxRadius float64) *Grid {
 	g.ny = gridDim(box.Ly(), maxRadius)
 	g.nz = gridDim(box.Lz(), maxRadius)
 	g.cellSize = [3]float64{box.Lx() / float64(g.nx), box.Ly() / float64(g.ny), box.Lz() / float64(g.nz)}
-	g.heads = make([]int32, g.nx*g.ny*g.nz)
-	for i := range g.heads {
-		g.heads[i] = -1
-	}
-	g.next = make([]int32, n)
-	for i := 0; i < n; i++ {
-		c := g.cellOf(x[i], y[i], z[i])
-		g.next[i] = g.heads[c]
-		g.heads[c] = int32(i)
+	ncells := g.nx * g.ny * g.nz
+	g.cellOff = make([]int32, ncells+1)
+	g.order = make([]int32, n)
+	workers := par.MaxWorkers()
+	if workers > 1 && n >= parallelBuildMinN && ncells <= parallelBuildMaxCells {
+		g.binParallel(ncells, workers)
+	} else {
+		g.binSerial(ncells)
 	}
 	return g
+}
+
+// binSerial fills the CSR layout with a two-pass counting sort.
+func (g *Grid) binSerial(ncells int) {
+	n := len(g.x)
+	counts := make([]int32, ncells)
+	cells := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := g.cellOf(g.x[i], g.y[i], g.z[i])
+		cells[i] = int32(c)
+		counts[c]++
+	}
+	off := int32(0)
+	for c := 0; c < ncells; c++ {
+		g.cellOff[c] = off
+		off += counts[c]
+		counts[c] = g.cellOff[c] // becomes the fill cursor
+	}
+	g.cellOff[ncells] = off
+	for i := 0; i < n; i++ {
+		c := cells[i]
+		g.order[counts[c]] = int32(i)
+		counts[c]++
+	}
+}
+
+// binParallel fills the CSR layout with per-worker cell histograms: each
+// worker owns a contiguous particle range, counts its per-cell occupancy,
+// and — after a serial scan assigns every (worker, cell) pair its exclusive
+// start — scatters its particles without atomics. Within a cell, worker w's
+// particles precede worker w+1's and each worker scans ascending, so the
+// final order is ascending particle index, identical to binSerial.
+func (g *Grid) binParallel(ncells, workers int) {
+	n := len(g.x)
+	chunk := (n + workers - 1) / workers
+	hist := make([]int32, workers*ncells)
+	cells := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := hist[w*ncells : (w+1)*ncells]
+			for i := lo; i < hi; i++ {
+				c := g.cellOf(g.x[i], g.y[i], g.z[i])
+				cells[i] = int32(c)
+				h[c]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	off := int32(0)
+	for c := 0; c < ncells; c++ {
+		g.cellOff[c] = off
+		for w := 0; w < workers; w++ {
+			t := hist[w*ncells+c]
+			hist[w*ncells+c] = off
+			off += t
+		}
+	}
+	g.cellOff[ncells] = off
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := hist[w*ncells : (w+1)*ncells]
+			for i := lo; i < hi; i++ {
+				c := cells[i]
+				g.order[h[c]] = int32(i)
+				h[c]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
 }
 
 func gridDim(extent, radius float64) int {
@@ -149,7 +253,9 @@ func (g *Grid) ForEachNeighbor(i int, radius float64, fn func(j int, dx, dy, dz,
 	for _, zc := range zs {
 		for _, yc := range ys {
 			for _, xc := range xs {
-				for j := g.heads[g.cellIndex(xc, yc, zc)]; j >= 0; j = g.next[j] {
+				c := g.cellIndex(xc, yc, zc)
+				for k := g.cellOff[c]; k < g.cellOff[c+1]; k++ {
+					j := g.order[k]
 					if int(j) == i {
 						continue
 					}

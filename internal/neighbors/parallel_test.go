@@ -1,0 +1,56 @@
+package neighbors
+
+import (
+	"runtime"
+	"testing"
+
+	"sphenergy/internal/rng"
+	"sphenergy/internal/sfc"
+)
+
+// TestParallelGridBuildMatchesSerial verifies the layout contract of the
+// parallel cell binning: cellOff and order must be byte-identical to the
+// serial counting sort (ascending particle index within each cell), which
+// is what keeps SPH floating-point summation order deterministic across
+// worker counts.
+func TestParallelGridBuildMatchesSerial(t *testing.T) {
+	const n = 20000 // above parallelBuildMinN so the parallel path engages
+	r := rng.New(7)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Float64()
+		y[i] = r.Float64()
+		z[i] = r.Float64()
+	}
+	box := sfc.NewPeriodicCube(0, 1)
+
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	gp := BuildGrid(box, x, y, z, 0.05)
+	runtime.GOMAXPROCS(1)
+	gs := BuildGrid(box, x, y, z, 0.05)
+
+	if len(gp.cellOff) != len(gs.cellOff) {
+		t.Fatalf("cell counts differ: %d vs %d", len(gp.cellOff), len(gs.cellOff))
+	}
+	for c := range gp.cellOff {
+		if gp.cellOff[c] != gs.cellOff[c] {
+			t.Fatalf("cellOff[%d]: parallel %d serial %d", c, gp.cellOff[c], gs.cellOff[c])
+		}
+	}
+	for k := range gp.order {
+		if gp.order[k] != gs.order[k] {
+			t.Fatalf("order[%d]: parallel %d serial %d", k, gp.order[k], gs.order[k])
+		}
+	}
+	// Within-cell ordering must be ascending (the determinism invariant).
+	for c := 0; c+1 < len(gp.cellOff); c++ {
+		for k := gp.cellOff[c] + 1; k < gp.cellOff[c+1]; k++ {
+			if gp.order[k-1] >= gp.order[k] {
+				t.Fatalf("cell %d not ascending at slot %d", c, k)
+			}
+		}
+	}
+}

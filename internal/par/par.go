@@ -15,8 +15,28 @@ import (
 // MaxWorkers returns the degree of parallelism used by For and Reduce.
 func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// SerialGrain is the minimum number of iterations per worker before a loop
+// is worth spawning goroutines for: below it, the goroutine spawn and
+// WaitGroup synchronization cost more than the loop body (measured on the
+// cheap passes — EOS, AVSwitches — at small particle counts).
+const SerialGrain = 2048
+
+// workersFor sizes the worker pool so each worker gets at least SerialGrain
+// iterations; tiny loops collapse to a single inline worker.
+func workersFor(n int) int {
+	w := MaxWorkers()
+	if g := (n + SerialGrain - 1) / SerialGrain; g < w {
+		w = g
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // For executes fn(i) for every i in [0, n) using up to MaxWorkers
-// goroutines. fn must be safe to call concurrently for distinct i.
+// goroutines. fn must be safe to call concurrently for distinct i. Loops
+// shorter than SerialGrain run inline on the calling goroutine.
 func For(n int, fn func(i int)) {
 	ForChunked(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -27,15 +47,13 @@ func For(n int, fn func(i int)) {
 
 // ForChunked splits [0, n) into contiguous chunks and executes fn(lo, hi)
 // for each chunk concurrently. Useful when per-chunk setup (scratch buffers)
-// amortizes across iterations.
+// amortizes across iterations. Loops shorter than SerialGrain run inline on
+// the calling goroutine.
 func ForChunked(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := MaxWorkers()
-	if workers > n {
-		workers = n
-	}
+	workers := workersFor(n)
 	if workers == 1 {
 		fn(0, n)
 		return
@@ -67,9 +85,13 @@ func SumFloat64(n int, fn func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	workers := MaxWorkers()
-	if workers > n {
-		workers = n
+	workers := workersFor(n)
+	if workers == 1 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += fn(i)
+		}
+		return s
 	}
 	partials := make([]float64, workers)
 	var wg sync.WaitGroup
@@ -107,9 +129,15 @@ func MinFloat64(n int, fn func(i int) float64) float64 {
 	if n <= 0 {
 		panic("par: MinFloat64 requires n > 0")
 	}
-	workers := MaxWorkers()
-	if workers > n {
-		workers = n
+	workers := workersFor(n)
+	if workers == 1 {
+		m := fn(0)
+		for i := 1; i < n; i++ {
+			if v := fn(i); v < m {
+				m = v
+			}
+		}
+		return m
 	}
 	partials := make([]float64, workers)
 	used := make([]bool, workers)
@@ -150,4 +178,54 @@ func MinFloat64(n int, fn func(i int) float64) float64 {
 		}
 	}
 	return m
+}
+
+// Reduce splits [0, n) into contiguous chunks, evaluates fn(lo, hi) per
+// chunk concurrently, and folds the per-chunk results with combine in
+// ascending chunk order, so the result is deterministic for a fixed worker
+// count. fn may carry side effects (e.g. filling per-chunk buffers) in
+// addition to its reduction value. Returns 0 for n <= 0.
+func Reduce(n int, fn func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := workersFor(n)
+	if workers == 1 {
+		return fn(0, n)
+	}
+	partials := make([]float64, workers)
+	used := make([]bool, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = fn(lo, hi)
+			used[w] = true
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var acc float64
+	first := true
+	for w := range partials {
+		if !used[w] {
+			continue
+		}
+		if first {
+			acc = partials[w]
+			first = false
+		} else {
+			acc = combine(acc, partials[w])
+		}
+	}
+	return acc
 }

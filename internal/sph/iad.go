@@ -17,14 +17,41 @@ import (
 // improves accuracy on disordered particle distributions. This function is
 // one of the two most compute-intensive kernels in the paper's measurements.
 func (s *State) IADVelocityDivCurl() {
+	if s.useList() {
+		s.iadList()
+	} else {
+		s.iadWalk()
+	}
+}
+
+// storeIADTensor inverts the accumulated IAD tensor of particle i and
+// stores C_i, falling back to an isotropic inverse for degenerate
+// neighborhoods (e.g. isolated particles) to keep derivatives bounded.
+func (s *State) storeIADTensor(i int, txx, txy, txz, tyy, tyz, tzz float64) {
+	p := s.P
+	c11, c12, c13, c22, c23, c33, ok := invertSym3(txx, txy, txz, tyy, tyz, tzz)
+	if !ok {
+		iso := 3 / (p.H[i] * p.H[i])
+		c11, c22, c33 = iso, iso, iso
+		c12, c13, c23 = 0, 0, 0
+	}
+	p.C11[i], p.C12[i], p.C13[i] = c11, c12, c13
+	p.C22[i], p.C23[i], p.C33[i] = c22, c23, c33
+}
+
+// iadList is the neighbor-list version of the IAD pass: both the tensor
+// accumulation and the gradient loop stream over the precomputed flat
+// displacement slices instead of re-traversing the search grid.
+func (s *State) iadList() {
 	p := s.P
 	k := s.Opt.Kernel
+	nl := s.List
 	par.For(p.N, func(i int) {
 		hi := p.H[i]
 		var txx, txy, txz, tyy, tyz, tzz float64
-		s.Grid.ForEachNeighbor(i, 2*hi, func(j int, dx, dy, dz, dist float64) {
-			// Displacement from i to j is -(dx,dy,dz): ForEachNeighbor passes
-			// xi - xj. The outer product is sign-agnostic.
+		for t := nl.Offsets[i]; t < nl.Offsets[i+1]; t++ {
+			j := int(nl.Idx[t])
+			dx, dy, dz, dist := nl.Dx[t], nl.Dy[t], nl.Dz[t], nl.Dist[t]
 			vj := p.M[j] / p.Rho[j]
 			w := k.W(dist, hi) * vj
 			txx += dx * dx * w
@@ -33,30 +60,20 @@ func (s *State) IADVelocityDivCurl() {
 			tyy += dy * dy * w
 			tyz += dy * dz * w
 			tzz += dz * dz * w
-		})
-		c11, c12, c13, c22, c23, c33, ok := invertSym3(txx, txy, txz, tyy, tyz, tzz)
-		if !ok {
-			// Degenerate neighborhood (e.g. isolated particle): fall back to
-			// an isotropic inverse based on h to keep derivatives bounded.
-			iso := 3 / (hi * hi)
-			c11, c22, c33 = iso, iso, iso
-			c12, c13, c23 = 0, 0, 0
 		}
-		p.C11[i], p.C12[i], p.C13[i] = c11, c12, c13
-		p.C22[i], p.C23[i], p.C33[i] = c22, c23, c33
+		s.storeIADTensor(i, txx, txy, txz, tyy, tyz, tzz)
 	})
 
-	// Velocity divergence and curl from IAD gradients:
-	// dv_a/dx_b = sum_j V_j (v_j - v_i)_a * (C_i (r_j - r_i))_b W_ij.
 	par.For(p.N, func(i int) {
 		hi := p.H[i]
 		var gxx, gxy, gxz, gyx, gyy, gyz, gzx, gzy, gzz float64
-		s.Grid.ForEachNeighbor(i, 2*hi, func(j int, dx, dy, dz, dist float64) {
+		for t := nl.Offsets[i]; t < nl.Offsets[i+1]; t++ {
+			j := int(nl.Idx[t])
+			dist := nl.Dist[t]
 			// r_j - r_i = -(dx, dy, dz).
-			rx, ry, rz := -dx, -dy, -dz
+			rx, ry, rz := -nl.Dx[t], -nl.Dy[t], -nl.Dz[t]
 			vj := p.M[j] / p.Rho[j]
 			w := k.W(dist, hi) * vj
-			// A = C_i * r, the IAD gradient direction vector.
 			ax := p.C11[i]*rx + p.C12[i]*ry + p.C13[i]*rz
 			ay := p.C12[i]*rx + p.C22[i]*ry + p.C23[i]*rz
 			az := p.C13[i]*rx + p.C23[i]*ry + p.C33[i]*rz
@@ -72,7 +89,7 @@ func (s *State) IADVelocityDivCurl() {
 			gzx += dvz * ax * w
 			gzy += dvz * ay * w
 			gzz += dvz * az * w
-		})
+		}
 		p.DivV[i] = gxx + gyy + gzz
 		cx := gzy - gyz
 		cy := gxz - gzx

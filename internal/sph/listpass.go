@@ -1,0 +1,52 @@
+package sph
+
+import (
+	"math"
+
+	"sphenergy/internal/par"
+)
+
+// Neighbor-list versions of the density-like passes: identical arithmetic
+// to the walk versions in walk.go, but streaming over the flat CSR slices
+// built by FindNeighbors instead of re-traversing the search grid. Entry
+// order matches the grid traversal order, so floating-point sums agree with
+// the walk bit for bit (up to the walk's wider candidate filtering).
+
+func (s *State) xmassList() {
+	p := s.P
+	k := s.Opt.Kernel
+	nl := s.List
+	par.For(p.N, func(i int) {
+		hi := p.H[i]
+		sum := p.XM[i] * k.W(0, hi)
+		for t := nl.Offsets[i]; t < nl.Offsets[i+1]; t++ {
+			sum += p.XM[nl.Idx[t]] * k.W(nl.Dist[t], hi)
+		}
+		p.Kx[i] = sum
+		p.Rho[i] = sum * p.M[i] / p.XM[i]
+	})
+}
+
+func (s *State) gradhList() {
+	p := s.P
+	k := s.Opt.Kernel
+	nl := s.List
+	par.For(p.N, func(i int) {
+		hi := p.H[i]
+		// dW/dh = -(3 W + q dW/dq)/h = -(3 W(r,h) + (r/h) * h*DW(r,h))/h.
+		dsum := -3 * p.XM[i] * k.W(0, hi) / hi
+		for t := nl.Offsets[i]; t < nl.Offsets[i+1]; t++ {
+			dist := nl.Dist[t]
+			w := k.W(dist, hi)
+			dw := k.DW(dist, hi)
+			dwdh := -(3*w + dist*dw) / hi
+			dsum += p.XM[nl.Idx[t]] * dwdh
+		}
+		omega := 1 + hi/(3*p.Kx[i])*dsum
+		// Guard against pathological configurations.
+		if omega < 0.2 || math.IsNaN(omega) {
+			omega = 0.2
+		}
+		p.Gradh[i] = omega
+	})
+}

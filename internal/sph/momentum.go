@@ -3,6 +3,7 @@ package sph
 import (
 	"math"
 
+	"sphenergy/internal/kernel"
 	"sphenergy/internal/par"
 )
 
@@ -35,62 +36,95 @@ func (s *State) AVSwitches(dt float64) {
 // Monaghan artificial viscosity with Balsara limiter. This is the most
 // compute-intensive kernel of the pipeline — the paper's MomentumEnergy.
 func (s *State) MomentumEnergy() {
+	if s.useList() {
+		s.momentumList()
+	} else {
+		s.momentumWalk()
+	}
+}
+
+// momentumPair evaluates one interacting pair (i, j) of the momentum and
+// energy equations, returning i's acceleration and du/dt contributions.
+// (dx, dy, dz) is x_i - x_j and dist its norm; hi, prhoi and fi are i's
+// smoothing length, P/(Omega rho^2) and Balsara factor, hoisted by the
+// caller. Shared by the walk and list paths so both produce identical
+// floating-point results pair for pair.
+func (s *State) momentumPair(k kernel.Kernel, i, j int, hi, prhoi, fi, dx, dy, dz, dist float64) (ax, ay, az, du float64) {
+	p := s.P
+	hj := p.H[j]
+	rhoi := p.Rho[i]
+	rhoj := p.Rho[j]
+	prhoj := p.P[j] / (p.Gradh[j] * rhoj * rhoj)
+	// Symmetrized kernel gradient magnitude along r_ij.
+	dwi := k.DW(dist, hi)
+	dwj := k.DW(dist, hj)
+	// Unit vector from j to i is (dx,dy,dz)/dist.
+	invr := 1 / (dist + 1e-30)
+	ex, ey, ez := dx*invr, dy*invr, dz*invr
+
+	// Artificial viscosity (Monaghan 1992 with Balsara limiter).
+	dvx := p.VX[i] - p.VX[j]
+	dvy := p.VY[i] - p.VY[j]
+	dvz := p.VZ[i] - p.VZ[j]
+	vdotr := dvx*dx + dvy*dy + dvz*dz
+	var piij float64
+	if vdotr < 0 {
+		hij := 0.5 * (hi + hj)
+		cij := 0.5 * (p.C[i] + p.C[j])
+		rhoij := 0.5 * (rhoi + rhoj)
+		muij := hij * vdotr / (dist*dist + 0.01*hij*hij)
+		alphaij := 0.5 * (p.Alpha[i] + p.Alpha[j])
+		fj := balsara(p.DivV[j], p.CurlV[j], p.C[j], hj)
+		fij := 0.5 * (fi + fj)
+		// Pi_ij = f * alpha * (-c mu + beta mu^2) / rho, beta as a
+		// multiple of alpha (conventionally 2).
+		piij = fij * alphaij * (-cij*muij + s.Opt.AVBeta*muij*muij) / rhoij
+	}
+
+	mj := p.M[j]
+	gradTermI := prhoi * dwi
+	gradTermJ := prhoj * dwj
+	acc := mj * (gradTermI + gradTermJ + piij*0.5*(dwi+dwj))
+	ax = -acc * ex
+	ay = -acc * ey
+	az = -acc * ez
+	// Energy equation: du/dt = P_i/(Ω_i ρ_i²) Σ m_j v_ij·∇W_i + AV heating.
+	vdotgrad := (dvx*ex + dvy*ey + dvz*ez)
+	du = mj * (gradTermI + 0.5*piij*0.5*(dwi+dwj)) * vdotgrad
+	return ax, ay, az, du
+}
+
+// momentumList streams the momentum/energy pass over the per-step neighbor
+// list: the main segment covers every pair within i's own support, and the
+// Ext segment supplies the asymmetric pairs (inside j's support only), so
+// no distance filtering is needed here — the pair set is exact by
+// construction.
+func (s *State) momentumList() {
 	p := s.P
 	k := s.Opt.Kernel
+	nl := s.List
 	par.For(p.N, func(i int) {
 		hi := p.H[i]
 		rhoi := p.Rho[i]
 		prhoi := p.P[i] / (p.Gradh[i] * rhoi * rhoi)
 		var ax, ay, az, du float64
-		// Balsara limiter for particle i.
 		fi := balsara(p.DivV[i], p.CurlV[i], p.C[i], hi)
-		// Scan out to the symmetrized support 2*max(h_i, h_j); using the
-		// global max h keeps the query radius valid for the built grid.
-		scanR := 2 * math.Max(hi, s.MaxH)
-		s.Grid.ForEachNeighbor(i, scanR, func(j int, dx, dy, dz, dist float64) {
-			hj := p.H[j]
-			if dist >= 2*hi && dist >= 2*hj {
-				return
-			}
-			rhoj := p.Rho[j]
-			prhoj := p.P[j] / (p.Gradh[j] * rhoj * rhoj)
-			// Symmetrized kernel gradient magnitude along r_ij.
-			dwi := k.DW(dist, hi)
-			dwj := k.DW(dist, hj)
-			// Unit vector from j to i is (dx,dy,dz)/dist.
-			invr := 1 / (dist + 1e-30)
-			ex, ey, ez := dx*invr, dy*invr, dz*invr
-
-			// Artificial viscosity (Monaghan 1992 with Balsara limiter).
-			dvx := p.VX[i] - p.VX[j]
-			dvy := p.VY[i] - p.VY[j]
-			dvz := p.VZ[i] - p.VZ[j]
-			vdotr := dvx*dx + dvy*dy + dvz*dz
-			var piij float64
-			if vdotr < 0 {
-				hij := 0.5 * (hi + hj)
-				cij := 0.5 * (p.C[i] + p.C[j])
-				rhoij := 0.5 * (rhoi + rhoj)
-				muij := hij * vdotr / (dist*dist + 0.01*hij*hij)
-				alphaij := 0.5 * (p.Alpha[i] + p.Alpha[j])
-				fj := balsara(p.DivV[j], p.CurlV[j], p.C[j], hj)
-				fij := 0.5 * (fi + fj)
-				// Pi_ij = f * alpha * (-c mu + beta mu^2) / rho, beta as a
-				// multiple of alpha (conventionally 2).
-				piij = fij * alphaij * (-cij*muij + s.Opt.AVBeta*muij*muij) / rhoij
-			}
-
-			mj := p.M[j]
-			gradTermI := prhoi * dwi
-			gradTermJ := prhoj * dwj
-			acc := mj * (gradTermI + gradTermJ + piij*0.5*(dwi+dwj))
-			ax -= acc * ex
-			ay -= acc * ey
-			az -= acc * ez
-			// Energy equation: du/dt = P_i/(Ω_i ρ_i²) Σ m_j v_ij·∇W_i + AV heating.
-			vdotgrad := (dvx*ex + dvy*ey + dvz*ez)
-			du += mj * (gradTermI + 0.5*piij*0.5*(dwi+dwj)) * vdotgrad
-		})
+		for t := nl.Offsets[i]; t < nl.Offsets[i+1]; t++ {
+			dax, day, daz, ddu := s.momentumPair(k, i, int(nl.Idx[t]), hi, prhoi, fi,
+				nl.Dx[t], nl.Dy[t], nl.Dz[t], nl.Dist[t])
+			ax += dax
+			ay += day
+			az += daz
+			du += ddu
+		}
+		for t := nl.ExtOffsets[i]; t < nl.ExtOffsets[i+1]; t++ {
+			dax, day, daz, ddu := s.momentumPair(k, i, int(nl.ExtIdx[t]), hi, prhoi, fi,
+				nl.ExtDx[t], nl.ExtDy[t], nl.ExtDz[t], nl.ExtDist[t])
+			ax += dax
+			ay += day
+			az += daz
+			du += ddu
+		}
 		p.AX[i] = ax
 		p.AY[i] = ay
 		p.AZ[i] = az

@@ -1,0 +1,302 @@
+package sph
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sphenergy/internal/par"
+)
+
+// hGrowthCap bounds per-step smoothing-length growth (the 1.3 clamp of the
+// h update). The neighbor grid and the candidate-gather radius are sized
+// for it, so one traversal covers both the old-h neighbor count and the
+// post-update support.
+const hGrowthCap = 1.3
+
+// NeighborList is the persistent per-step neighbor structure of the SPH
+// pipeline, SPH-EXA style: FindNeighbors builds it in a single traversal of
+// the search grid, and XMass, NormalizationGradh, IADVelocityDivCurl and
+// MomentumEnergy stream over the flat slices instead of re-traversing the
+// grid with a per-neighbor callback.
+type NeighborList struct {
+	// Offsets has length N+1; the neighbors of particle i — every j != i
+	// with |x_i - x_j| < 2*h_i after the step's smoothing-length update —
+	// occupy entries [Offsets[i], Offsets[i+1]) of Idx, Dx, Dy, Dz and
+	// Dist. Dx/Dy/Dz hold the minimum-image displacement x_i - x_j, Dist
+	// its norm. Entries appear in grid traversal order, which the CSR cell
+	// grid makes deterministic.
+	Offsets []int32
+	Idx     []int32
+	Dx      []float64
+	Dy      []float64
+	Dz      []float64
+	Dist    []float64
+
+	// Ext* is the asymmetric-support complement consumed by
+	// MomentumEnergy: pairs with 2*h_i <= dist < 2*h_j, where j's kernel
+	// support covers i but not vice versa. Layout mirrors the main list;
+	// displacements are already expressed from i's side (x_i - x_j), and
+	// each per-particle segment is sorted by neighbor index so the
+	// momentum sum order is deterministic. Built by transposing the main
+	// list, so arbitrary smoothing-length contrasts are covered without
+	// widening any gather radius.
+	ExtOffsets []int32
+	ExtIdx     []int32
+	ExtDx      []float64
+	ExtDy      []float64
+	ExtDz      []float64
+	ExtDist    []float64
+
+	// Ngmax is the per-particle capacity cap (SPH-EXA's ngmax); Overflow
+	// counts how many particles had their neighbor set truncated at the
+	// cap during the last build.
+	Ngmax    int
+	Overflow int
+
+	extCnt []int32 // scratch: per-particle extras count, then fill cursor
+}
+
+// Count returns the stored neighbor count of particle i.
+func (nl *NeighborList) Count(i int) int {
+	return int(nl.Offsets[i+1] - nl.Offsets[i])
+}
+
+// listChunk is the worker-local gather buffer of one contiguous particle
+// range; after the parallel gather the chunks are concatenated in range
+// order, so the merged list is identical to a serial build.
+type listChunk struct {
+	lo       int
+	counts   []int32
+	idx      []int32
+	dx       []float64
+	dy       []float64
+	dz       []float64
+	dist     []float64
+	overflow int
+}
+
+var listChunkPool = sync.Pool{New: func() interface{} { return new(listChunk) }}
+
+func (cb *listChunk) reset(lo int) {
+	cb.lo = lo
+	cb.counts = cb.counts[:0]
+	cb.idx = cb.idx[:0]
+	cb.dx = cb.dx[:0]
+	cb.dy = cb.dy[:0]
+	cb.dz = cb.dz[:0]
+	cb.dist = cb.dist[:0]
+	cb.overflow = 0
+}
+
+func ensureInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func ensureF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// updateH applies the n^(1/3) smoothing-length iteration toward the target
+// neighbor count, clamped to ±30% per step and bounded relative to the
+// pre-update global maximum so the search grid stays valid for this step.
+func updateH(h float64, n int, ng, maxH float64) float64 {
+	c := math.Cbrt(ng / float64(n+1))
+	nh := 0.5 * h * (1 + c)
+	if nh > hGrowthCap*h {
+		nh = hGrowthCap * h
+	}
+	if nh < 0.7*h {
+		nh = 0.7 * h
+	}
+	if nh > maxH*hGrowthCap {
+		nh = maxH * hGrowthCap
+	}
+	return nh
+}
+
+// buildNeighborList performs the per-step neighbor search in one traversal
+// of the search structure: each particle's candidates are gathered out to
+// the maximum post-update support 2*hGrowthCap*h_old, the old-h count
+// drives the smoothing-length update (recorded in NC, matching the
+// closure-walk pipeline), and the survivors within the new 2*h — capped at
+// Ngmax — are compacted in place and merged into the CSR list. Returns the
+// post-update maximum smoothing length, folded as a reduction so no extra
+// O(n) scan is needed.
+func (s *State) buildNeighborList(maxH float64) float64 {
+	p := s.P
+	n := p.N
+	if s.List == nil {
+		s.List = &NeighborList{}
+	}
+	nl := s.List
+	nl.Ngmax = s.Opt.ngmax()
+	ng := float64(s.Opt.NgTarget)
+
+	var mu sync.Mutex
+	chunks := make([]*listChunk, 0, par.MaxWorkers())
+	newMax := par.Reduce(n, func(lo, hi int) float64 {
+		cb := listChunkPool.Get().(*listChunk)
+		cb.reset(lo)
+		localMax := 0.0
+		for i := lo; i < hi; i++ {
+			hOld := p.H[i]
+			start := len(cb.idx)
+			s.Grid.ForEachNeighbor(i, 2*hGrowthCap*hOld, func(j int, dx, dy, dz, dist float64) {
+				cb.idx = append(cb.idx, int32(j))
+				cb.dx = append(cb.dx, dx)
+				cb.dy = append(cb.dy, dy)
+				cb.dz = append(cb.dz, dz)
+				cb.dist = append(cb.dist, dist)
+			})
+			cnt := 0
+			for k := start; k < len(cb.dist); k++ {
+				if cb.dist[k] < 2*hOld {
+					cnt++
+				}
+			}
+			p.NC[i] = int32(cnt)
+			h := updateH(hOld, cnt, ng, maxH)
+			p.H[i] = h
+			if h > localMax {
+				localMax = h
+			}
+			r := 2 * h
+			w := start
+			for k := start; k < len(cb.idx); k++ {
+				if cb.dist[k] >= r {
+					continue
+				}
+				if w-start >= nl.Ngmax {
+					cb.overflow++
+					break
+				}
+				cb.idx[w] = cb.idx[k]
+				cb.dx[w] = cb.dx[k]
+				cb.dy[w] = cb.dy[k]
+				cb.dz[w] = cb.dz[k]
+				cb.dist[w] = cb.dist[k]
+				w++
+			}
+			cb.idx = cb.idx[:w]
+			cb.dx = cb.dx[:w]
+			cb.dy = cb.dy[:w]
+			cb.dz = cb.dz[:w]
+			cb.dist = cb.dist[:w]
+			cb.counts = append(cb.counts, int32(w-start))
+		}
+		mu.Lock()
+		chunks = append(chunks, cb)
+		mu.Unlock()
+		return localMax
+	}, math.Max)
+
+	// Merge the chunk buffers in range order. Each worker owned a
+	// contiguous particle range, so its buffer is a contiguous segment of
+	// the final CSR arrays.
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].lo < chunks[b].lo })
+	nl.Offsets = ensureInt32(nl.Offsets, n+1)
+	off := int32(0)
+	nl.Overflow = 0
+	for _, cb := range chunks {
+		for t, c := range cb.counts {
+			nl.Offsets[cb.lo+t] = off
+			off += c
+		}
+		nl.Overflow += cb.overflow
+	}
+	nl.Offsets[n] = off
+	total := int(off)
+	nl.Idx = ensureInt32(nl.Idx, total)
+	nl.Dx = ensureF64(nl.Dx, total)
+	nl.Dy = ensureF64(nl.Dy, total)
+	nl.Dz = ensureF64(nl.Dz, total)
+	nl.Dist = ensureF64(nl.Dist, total)
+	for _, cb := range chunks {
+		at := nl.Offsets[cb.lo]
+		copy(nl.Idx[at:], cb.idx)
+		copy(nl.Dx[at:], cb.dx)
+		copy(nl.Dy[at:], cb.dy)
+		copy(nl.Dz[at:], cb.dz)
+		copy(nl.Dist[at:], cb.dist)
+		listChunkPool.Put(cb)
+	}
+
+	s.buildExtras()
+	return newMax
+}
+
+// buildExtras derives the asymmetric-support segments by transposing the
+// main list: an entry (j -> i) with dist >= 2*h_i marks a pair that i's own
+// support misses but j's covers, which MomentumEnergy must still integrate
+// from i's side. All smoothing lengths are final before this runs.
+func (s *State) buildExtras() {
+	p := s.P
+	n := p.N
+	nl := s.List
+	nl.extCnt = ensureInt32(nl.extCnt, n)
+	for i := range nl.extCnt {
+		nl.extCnt[i] = 0
+	}
+	par.ForChunked(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for k := nl.Offsets[j]; k < nl.Offsets[j+1]; k++ {
+				i := nl.Idx[k]
+				if nl.Dist[k] >= 2*p.H[i] {
+					atomic.AddInt32(&nl.extCnt[i], 1)
+				}
+			}
+		}
+	})
+	nl.ExtOffsets = ensureInt32(nl.ExtOffsets, n+1)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		nl.ExtOffsets[i] = off
+		off += nl.extCnt[i]
+		nl.extCnt[i] = nl.ExtOffsets[i] // becomes the fill cursor
+	}
+	nl.ExtOffsets[n] = off
+	total := int(off)
+	nl.ExtIdx = ensureInt32(nl.ExtIdx, total)
+	nl.ExtDx = ensureF64(nl.ExtDx, total)
+	nl.ExtDy = ensureF64(nl.ExtDy, total)
+	nl.ExtDz = ensureF64(nl.ExtDz, total)
+	nl.ExtDist = ensureF64(nl.ExtDist, total)
+	par.ForChunked(n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for k := nl.Offsets[j]; k < nl.Offsets[j+1]; k++ {
+				i := nl.Idx[k]
+				if nl.Dist[k] >= 2*p.H[i] {
+					pos := atomic.AddInt32(&nl.extCnt[i], 1) - 1
+					nl.ExtIdx[pos] = int32(j)
+					// The stored displacement is x_j - x_i; flip to i's view.
+					nl.ExtDx[pos] = -nl.Dx[k]
+					nl.ExtDy[pos] = -nl.Dy[k]
+					nl.ExtDz[pos] = -nl.Dz[k]
+					nl.ExtDist[pos] = nl.Dist[k]
+				}
+			}
+		}
+	})
+	// Concurrent fill order is scheduling-dependent; sort each (tiny)
+	// segment by neighbor index so the momentum sum order is deterministic.
+	par.For(n, func(i int) {
+		lo, hi := int(nl.ExtOffsets[i]), int(nl.ExtOffsets[i+1])
+		for a := lo + 1; a < hi; a++ {
+			for b := a; b > lo && nl.ExtIdx[b] < nl.ExtIdx[b-1]; b-- {
+				nl.ExtIdx[b], nl.ExtIdx[b-1] = nl.ExtIdx[b-1], nl.ExtIdx[b]
+				nl.ExtDx[b], nl.ExtDx[b-1] = nl.ExtDx[b-1], nl.ExtDx[b]
+				nl.ExtDy[b], nl.ExtDy[b-1] = nl.ExtDy[b-1], nl.ExtDy[b]
+				nl.ExtDz[b], nl.ExtDz[b-1] = nl.ExtDz[b-1], nl.ExtDz[b]
+				nl.ExtDist[b], nl.ExtDist[b-1] = nl.ExtDist[b-1], nl.ExtDist[b]
+			}
+		}
+	})
+}

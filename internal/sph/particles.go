@@ -119,8 +119,8 @@ func (p *Particles) Reorder(perm []int) {
 	if len(perm) != p.N {
 		panic("sph: permutation length mismatch")
 	}
+	tmp := make([]float64, p.N) // one scratch buffer shared by all fields
 	reorderF := func(f []float64) {
-		tmp := make([]float64, len(f))
 		for i, o := range perm {
 			tmp[i] = f[o]
 		}
@@ -175,6 +175,23 @@ type Options struct {
 	// (default 64).
 	TreeBucketSize int
 
+	// NgMax caps the per-particle neighbor-list length (SPH-EXA's ngmax);
+	// particles whose support holds more neighbors are truncated and
+	// counted in State.List.Overflow. Zero selects 4×NgTarget (at least
+	// 192).
+	NgMax int
+
+	// ClosureWalk selects the legacy pipeline that re-traverses the
+	// neighbor search structure with a per-neighbor callback in every
+	// pass, instead of streaming over the per-step neighbor list. Kept as
+	// the reference baseline for equivalence tests and benchmarks.
+	ClosureWalk bool
+
+	// ReorderEvery makes RunStep reorder particles along the Morton SFC
+	// every K steps (0 disables), so neighbor-list indices keep pointing
+	// at cache-adjacent memory as particles mix.
+	ReorderEvery int
+
 	// CFL is the Courant factor for the timestep.
 	CFL float64
 
@@ -191,21 +208,34 @@ type Options struct {
 // DefaultOptions returns the options used by the examples and tests.
 func DefaultOptions(box sfc.Box) Options {
 	return Options{
-		Kernel:      kernel.NewTable(kernel.WendlandC2{}, 2000),
-		Box:         box,
-		NgTarget:    64,
-		VEExponent:  0,
-		EOS:         IdealGas{Gamma: 5.0 / 3.0},
-		AlphaMin:    0.05,
-		AlphaMax:    1.0,
-		AVBeta:      2.0,
-		AVDecayTime: 0.2,
-		CFL:         0.3,
-		MaxDtGrowth: 1.1,
-		GravG:       1.0,
-		GravEps:     1e-3,
-		GravTheta:   0.5,
+		Kernel:       kernel.NewCheckedTable(kernel.WendlandC2{}, kernel.DefaultTablePoints),
+		Box:          box,
+		NgTarget:     64,
+		VEExponent:   0,
+		EOS:          IdealGas{Gamma: 5.0 / 3.0},
+		AlphaMin:     0.05,
+		AlphaMax:     1.0,
+		AVBeta:       2.0,
+		AVDecayTime:  0.2,
+		CFL:          0.3,
+		MaxDtGrowth:  1.1,
+		ReorderEvery: 32,
+		GravG:        1.0,
+		GravEps:      1e-3,
+		GravTheta:    0.5,
 	}
+}
+
+// ngmax resolves the effective per-particle neighbor-list cap.
+func (o Options) ngmax() int {
+	if o.NgMax > 0 {
+		return o.NgMax
+	}
+	m := 4 * o.NgTarget
+	if m < 192 {
+		m = 192
+	}
+	return m
 }
 
 // State bundles particles with the neighbor structure of the current step.
@@ -213,6 +243,11 @@ type State struct {
 	P    *Particles
 	Opt  Options
 	Grid neighbors.Searcher
+
+	// List is the per-step neighbor list built by FindNeighbors (nil in
+	// ClosureWalk mode or before the first FindNeighbors); its buffers are
+	// reused across steps.
+	List *NeighborList
 
 	// MaxH caches the largest smoothing length after FindNeighbors; kernels
 	// use it to bound asymmetric-support neighbor scans.

@@ -7,39 +7,49 @@ import (
 	"sphenergy/internal/par"
 )
 
-// FindNeighbors rebuilds the neighbor grid for the current particle
-// positions and records per-particle neighbor counts. It also adapts
-// smoothing lengths toward the target neighbor count using the standard
-// n^(1/3) update, which converges in a few steps for smooth distributions.
+// FindNeighbors rebuilds the neighbor search structure for the current
+// particle positions, adapts smoothing lengths toward the target neighbor
+// count using the standard n^(1/3) update, and — in the default list mode —
+// builds the persistent per-step NeighborList that the subsequent passes
+// stream over. With Options.ClosureWalk set, only neighbor counts and
+// smoothing lengths are updated and the passes re-traverse the grid.
 func (s *State) FindNeighbors() {
 	p := s.P
 	maxH := p.MaxH()
-	s.Grid = BuildGridFor(s)
-	ng := float64(s.Opt.NgTarget)
-	par.For(p.N, func(i int) {
-		n := s.Grid.CountNeighbors(i, 2*p.H[i])
-		p.NC[i] = int32(n)
-		// Smoothing-length update: h <- h/2 * (1 + (Ng/(n+1))^(1/3)).
-		c := math.Cbrt(ng / float64(n+1))
-		h := 0.5 * p.H[i] * (1 + c)
-		// Clamp the change to keep the grid valid for this step.
-		if h > 1.3*p.H[i] {
-			h = 1.3 * p.H[i]
-		}
-		if h < 0.7*p.H[i] {
-			h = 0.7 * p.H[i]
-		}
-		if h > maxH*1.3 {
-			h = maxH * 1.3
-		}
-		p.H[i] = h
-	})
-	s.MaxH = p.MaxH()
+	s.Grid = s.buildGrid(maxH)
+	if s.Opt.ClosureWalk {
+		s.List = nil
+		s.countAndUpdateH(maxH)
+		return
+	}
+	s.MaxH = s.buildNeighborList(maxH)
 }
 
-// BuildGridFor constructs the neighbor search structure sized for the
-// current maximum interaction radius, honoring the configured backend.
-func BuildGridFor(s *State) neighbors.Searcher {
+// countAndUpdateH is the closure-walk neighbor pass: count neighbors at the
+// current support, apply the smoothing-length update, and fold the
+// post-update maximum into the same parallel pass (previously a second
+// full MaxH scan).
+func (s *State) countAndUpdateH(maxH float64) {
+	p := s.P
+	ng := float64(s.Opt.NgTarget)
+	s.MaxH = par.Reduce(p.N, func(lo, hi int) float64 {
+		localMax := 0.0
+		for i := lo; i < hi; i++ {
+			n := s.Grid.CountNeighbors(i, 2*p.H[i])
+			p.NC[i] = int32(n)
+			h := updateH(p.H[i], n, ng, maxH)
+			p.H[i] = h
+			if h > localMax {
+				localMax = h
+			}
+		}
+		return localMax
+	}, math.Max)
+}
+
+// buildGrid constructs the neighbor search structure for the given maximum
+// smoothing length, honoring the configured backend.
+func (s *State) buildGrid(maxH float64) neighbors.Searcher {
 	p := s.P
 	if s.Opt.TreeSearch {
 		bucket := s.Opt.TreeBucketSize
@@ -48,12 +58,24 @@ func BuildGridFor(s *State) neighbors.Searcher {
 		}
 		return neighbors.BuildTree(s.Opt.Box, p.X, p.Y, p.Z, bucket)
 	}
-	maxH := p.MaxH()
-	radius := 2 * maxH * 1.3 // allow for the in-step h growth clamp
+	radius := 2 * maxH * hGrowthCap // allow for the in-step h growth clamp
 	if radius <= 0 {
 		radius = s.Opt.Box.MinExtent() / 4
 	}
 	return neighbors.BuildGrid(s.Opt.Box, p.X, p.Y, p.Z, radius)
+}
+
+// BuildGridFor constructs the neighbor search structure sized for the
+// current maximum interaction radius, honoring the configured backend.
+func BuildGridFor(s *State) neighbors.Searcher {
+	return s.buildGrid(s.P.MaxH())
+}
+
+// useList reports whether the passes should stream over the per-step
+// neighbor list. Callers that set up Grid manually (without FindNeighbors)
+// fall back to the closure walk.
+func (s *State) useList() bool {
+	return !s.Opt.ClosureWalk && s.List != nil && len(s.List.Offsets) == s.P.N+1
 }
 
 // XMass computes the generalized volume-element normalization
@@ -65,7 +87,6 @@ func BuildGridFor(s *State) neighbors.Searcher {
 // ("computeXMass" in the original framework).
 func (s *State) XMass() {
 	p := s.P
-	k := s.Opt.Kernel
 	// Volume element mass: with exponent p>0 this uses the previous step's
 	// density, which is the standard VE iteration.
 	par.For(p.N, func(i int) {
@@ -75,15 +96,11 @@ func (s *State) XMass() {
 		}
 		p.XM[i] = xm
 	})
-	par.For(p.N, func(i int) {
-		hi := p.H[i]
-		sum := p.XM[i] * k.W(0, hi)
-		s.Grid.ForEachNeighbor(i, 2*hi, func(j int, _, _, _, dist float64) {
-			sum += p.XM[j] * k.W(dist, hi)
-		})
-		p.Kx[i] = sum
-		p.Rho[i] = sum * p.M[i] / p.XM[i]
-	})
+	if s.useList() {
+		s.xmassList()
+	} else {
+		s.xmassWalk()
+	}
 }
 
 // NormalizationGradh computes the gradh (Omega) correction factors
@@ -91,25 +108,11 @@ func (s *State) XMass() {
 // momentum and energy equations of the variable-smoothing-length
 // formulation. ("computeVeDefGradh" in SPH-EXA.)
 func (s *State) NormalizationGradh() {
-	p := s.P
-	k := s.Opt.Kernel
-	par.For(p.N, func(i int) {
-		hi := p.H[i]
-		// dW/dh = -(3 W + q dW/dq)/h = -(3 W(r,h) + (r/h) * h*DW(r,h))/h.
-		dsum := -3 * p.XM[i] * k.W(0, hi) / hi
-		s.Grid.ForEachNeighbor(i, 2*hi, func(j int, _, _, _, dist float64) {
-			w := k.W(dist, hi)
-			dw := k.DW(dist, hi)
-			dwdh := -(3*w + dist*dw) / hi
-			dsum += p.XM[j] * dwdh
-		})
-		omega := 1 + hi/(3*p.Kx[i])*dsum
-		// Guard against pathological configurations.
-		if omega < 0.2 || math.IsNaN(omega) {
-			omega = 0.2
-		}
-		p.Gradh[i] = omega
-	})
+	if s.useList() {
+		s.gradhList()
+	} else {
+		s.gradhWalk()
+	}
 }
 
 // EquationOfState evaluates pressure and sound speed from density and

@@ -50,8 +50,14 @@ func (s *State) Timestep() float64 {
 // IADVelocityDivCurl, AVSwitches, MomentumEnergy, optional extra
 // accelerations (self-gravity), Timestep, UpdateQuantities. extraAccel, if
 // non-nil, runs after MomentumEnergy and must add into AX/AY/AZ. Returns
-// the timestep taken.
+// the timestep taken. Every Options.ReorderEvery steps the particles are
+// first re-sorted along the Morton SFC (see ReorderBySFC), which is
+// deterministic given the step count and therefore replays identically
+// across checkpoint/restart.
 func (s *State) RunStep(extraAccel func(p *Particles)) float64 {
+	if k := s.Opt.ReorderEvery; k > 0 && s.Step > 0 && s.Step%k == 0 {
+		s.ReorderBySFC()
+	}
 	s.FindNeighbors()
 	s.XMass()
 	s.NormalizationGradh()

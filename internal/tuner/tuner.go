@@ -14,8 +14,11 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"sphenergy/internal/gpusim"
+	"sphenergy/internal/par"
 	"sphenergy/internal/rng"
 	"sphenergy/internal/telemetry"
 )
@@ -128,8 +131,12 @@ func (c Config) candidates() []int {
 }
 
 // measure runs the kernel at a locked clock on a fresh device and returns
-// the averaged time and energy, with optional per-sample measurement noise.
-func measure(spec gpusim.Spec, kernel gpusim.KernelDesc, mhz, iterations int, noiseRel float64, noise *rng.Rand) Measurement {
+// the averaged time and energy. noiseVals, when non-nil, supplies the
+// 2*iterations pre-drawn Gaussian factors for per-sample measurement noise
+// (time then energy, per iteration); pre-drawing decouples the noise
+// stream's consumption order from the measurement schedule, so candidates
+// can be measured concurrently without perturbing rng-seeded results.
+func measure(spec gpusim.Spec, kernel gpusim.KernelDesc, mhz, iterations int, noiseRel float64, noiseVals []float64) Measurement {
 	dev := gpusim.NewDevice(spec, 0)
 	if _, err := dev.SetApplicationClocks(0, mhz); err != nil {
 		panic(fmt.Sprintf("tuner: %v", err))
@@ -139,9 +146,9 @@ func measure(spec gpusim.Spec, kernel gpusim.KernelDesc, mhz, iterations int, no
 		e0 := dev.EnergyJ()
 		dt := dev.Execute(kernel)
 		de := dev.EnergyJ() - e0
-		if noiseRel > 0 && noise != nil {
-			dt *= 1 + noiseRel*noise.Norm()
-			de *= 1 + noiseRel*noise.Norm()
+		if noiseRel > 0 && noiseVals != nil {
+			dt *= 1 + noiseRel*noiseVals[2*i]
+			de *= 1 + noiseRel*noiseVals[2*i+1]
 		}
 		timeS += dt
 		energy += de
@@ -175,10 +182,25 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 	}
 	evals := cfg.Metrics.Counter("tuner_evaluations_total",
 		"frequency configurations measured", telemetry.L("kernel", kernelName))
-	eval := func(mhz int) Measurement {
-		m := measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noise)
+	// drawNoise hands out the next 2*Iterations factors of the shared noise
+	// stream. Callers draw in candidate order, so seeded results stay
+	// bit-identical whether candidates are then measured serially or
+	// concurrently.
+	drawNoise := func() []float64 {
+		if noise == nil {
+			return nil
+		}
+		out := make([]float64, 2*cfg.Iterations)
+		for i := range out {
+			out[i] = noise.Norm()
+		}
+		return out
+	}
+	var evalCount int64
+	evalWith := func(mhz int, noiseVals []float64) Measurement {
+		m := measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
 		m.Score = cfg.Objective(m.TimeS, m.EnergyJ)
-		res.Evaluations++
+		atomic.AddInt64(&evalCount, 1)
 		evals.Inc()
 		if cfg.Metrics != nil {
 			labels := []telemetry.Label{
@@ -194,12 +216,47 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 		}
 		return m
 	}
+	eval := func(mhz int) Measurement { return evalWith(mhz, drawNoise()) }
 
 	switch cfg.Strategy {
 	case BruteForce:
-		for _, f := range cands {
-			res.All = append(res.All, eval(f))
+		// The sweep's candidates are independent measurements on fresh
+		// simulated devices, so evaluate them with a worker pool. Noise
+		// sequences are pre-drawn in candidate order and each result lands
+		// at its candidate's index, keeping result ordering and rng-seeded
+		// values identical to a serial sweep.
+		all := make([]Measurement, len(cands))
+		seqs := make([][]float64, len(cands))
+		for i := range cands {
+			seqs[i] = drawNoise()
 		}
+		workers := par.MaxWorkers()
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		if workers <= 1 {
+			for i, f := range cands {
+				all[i] = evalWith(f, seqs[i])
+			}
+		} else {
+			var wg sync.WaitGroup
+			next := int64(-1)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(atomic.AddInt64(&next, 1))
+						if i >= len(cands) {
+							return
+						}
+						all[i] = evalWith(cands[i], seqs[i])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		res.All = all
 	case RandomSample:
 		frac := cfg.SampleFraction
 		if frac <= 0 || frac > 1 {
@@ -234,6 +291,7 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 		return nil, fmt.Errorf("tuner: unknown strategy %q", cfg.Strategy)
 	}
 
+	res.Evaluations = int(evalCount)
 	if len(res.All) == 0 {
 		return nil, fmt.Errorf("tuner: no configurations evaluated")
 	}
