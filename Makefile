@@ -2,17 +2,45 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-energy bench bench-telemetry bench-json bench-sph bench-sph-smoke check experiments examples clean
+.PHONY: all build lint vet fmt-check test race race-energy race-faults bench bench-telemetry bench-json bench-sph bench-sph-smoke chaos chaos-smoke check experiments examples clean
 
-all: build vet test
+all: build lint test
 
 # check is the CI gate: static vetting plus the full suite under the race
 # detector (includes the telemetry concurrency tests), with a focused
 # re-run of the energy attribution/validation path so a regression there
-# is named in the failure output rather than buried in ./..., and a short
+# is named in the failure output rather than buried in ./..., a short
 # SPH perf-harness smoke + pipeline-equivalence gate so the neighbor-list
-# fast path can't silently drift from the closure-walk reference.
-check: vet race race-energy bench-sph-smoke
+# fast path can't silently drift from the closure-walk reference, and a
+# seeded chaos smoke proving the fault/degradation layer keeps the
+# measurement contract and stays bit-identical per seed.
+check: lint race race-energy race-faults bench-sph-smoke chaos-smoke
+
+# lint is the static gate: go vet plus a gofmt cleanliness check.
+lint: vet fmt-check
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The fault-injection and graceful-degradation stack under the race
+# detector: injector streams evaluated from rank goroutines, the mediated
+# resilient setter, sampler failover, and straggler/crash handling.
+race-faults:
+	$(GO) test -race ./internal/faults/ ./internal/freqctl/ ./internal/mpisim/ \
+		./internal/sampler/ ./internal/core/
+
+# Full chaos sweep: many seeds, larger runs, with rank crashes.
+chaos:
+	$(GO) run ./cmd/faultbench -seeds 10 -ranks 4 -s 4 -crash
+	$(GO) run ./cmd/faultbench -seeds 10
+
+# Fast chaos gate for `check`: a few seeds through the full fault stack
+# (sensor transients, stuck node sensor, clamped-clock window, straggler,
+# one rank crash under drop-rank), each run twice and byte-compared.
+chaos-smoke:
+	$(GO) run ./cmd/faultbench -seeds 2 -q
+	$(GO) run ./cmd/faultbench -seeds 2 -ranks 3 -s 4 -crash -q
 
 # The sampler/attribution/three-way-validation stack exercised under the
 # race detector: per-rank channels polled from rank goroutines while the

@@ -81,6 +81,10 @@ func main() {
 		fmt.Println()
 		fmt.Print(report.RenderValidation(r.Validation))
 	}
+	if r.Faults != nil {
+		fmt.Println()
+		fmt.Print(report.RenderFaults(r.Faults))
+	}
 
 	if *baseline != "" {
 		b, err := instr.ReadReportFile(*baseline)

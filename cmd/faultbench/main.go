@@ -1,0 +1,201 @@
+// Command faultbench is the chaos harness for the fault-injection and
+// graceful-degradation layer: it sweeps seeded fault plans (transient
+// sensor faults, a clamped-clock window, a straggler rank, optionally a
+// rank crash) over short instrumented runs and asserts the measurement
+// contract the paper's workflow depends on:
+//
+//  1. the run completes without panic and every degradation is surfaced
+//     (sampler flags, clamped-set counters, rank-failure records);
+//  2. the two-gate attribution contract holds on clean rows — intervals
+//     that rest on estimated sensor data are classified (degraded or
+//     unresolvable), never silently gated;
+//  3. the whole run is bit-identical across two same-seed executions
+//     (compared on the serialized result summary).
+//
+// Any violation exits non-zero, which makes `make chaos-smoke` a CI
+// gate. Examples:
+//
+//	faultbench -seeds 5
+//	faultbench -seeds 20 -ranks 4 -steps 4 -crash -out chaos.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sphenergy"
+	"sphenergy/internal/attrib"
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/faults"
+	"sphenergy/internal/freqctl"
+	"sphenergy/internal/sampler"
+	"sphenergy/internal/telemetry"
+)
+
+// seedResult is the per-seed record written to -out; it is also the
+// payload the determinism check byte-compares between the two runs.
+type seedResult struct {
+	Seed       uint64             `json:"seed"`
+	WallTimeS  float64            `json:"wall_time_s"`
+	EnergyJ    float64            `json:"energy_j"`
+	AttribPass bool               `json:"attrib_pass"`
+	AggErrPct  float64            `json:"agg_err_pct"`
+	Degraded   int                `json:"degraded_rows"`
+	Faults     *faults.Report     `json:"faults"`
+	Kernels    []attrib.Row       `json:"kernels,omitempty"`
+	Failures   []core.RankFailure `json:"failures,omitempty"`
+}
+
+func main() {
+	var (
+		seeds  = flag.Int("seeds", 3, "number of seeded plans to sweep")
+		seed0  = flag.Uint64("seed0", 1, "first seed of the sweep")
+		system = flag.String("system", "minihpc", "system: lumi-g, cscs-a100 or minihpc")
+		ranks  = flag.Int("ranks", 2, "MPI ranks")
+		steps  = flag.Int("s", 3, "time-steps per run")
+		ppr    = flag.Float64("ppr", 10e6, "particles per rank")
+		crash  = flag.Bool("crash", false, "also crash one rank mid-run (degradation policy drop-rank)")
+		out    = flag.String("out", "", "write the per-seed JSON records to this path")
+		quiet  = flag.Bool("q", false, "only print the final verdict")
+	)
+	flag.Parse()
+
+	spec, err := sphenergy.SystemByName(*system)
+	fatalIf(err)
+
+	var results []seedResult
+	failed := false
+	for i := 0; i < *seeds; i++ {
+		seed := *seed0 + uint64(i)
+		a, err := runChaos(spec, seed, *ranks, *steps, *ppr, *crash)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultbench: seed %d: %v\n", seed, err)
+			failed = true
+			continue
+		}
+		b, err := runChaos(spec, seed, *ranks, *steps, *ppr, *crash)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultbench: seed %d (replay): %v\n", seed, err)
+			failed = true
+			continue
+		}
+		ja, jb := mustJSON(a), mustJSON(b)
+		if !bytes.Equal(ja, jb) {
+			fmt.Fprintf(os.Stderr, "faultbench: seed %d NOT deterministic:\n%s\nvs\n%s\n", seed, ja, jb)
+			failed = true
+			continue
+		}
+		if !a.AttribPass {
+			fmt.Fprintf(os.Stderr,
+				"faultbench: seed %d violated the two-gate contract: agg err %.3f%% with %d degraded rows classified\n",
+				seed, a.AggErrPct, a.Degraded)
+			failed = true
+		}
+		if !*quiet {
+			fmt.Printf("seed %-4d wall %8.2f s  energy %12.1f J  degraded rows %2d  injections %s\n",
+				seed, a.WallTimeS, a.EnergyJ, a.Degraded, injectionSummary(a.Faults))
+		}
+		results = append(results, a)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatalIf(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(results))
+		fatalIf(f.Close())
+	}
+	if failed {
+		fmt.Println("chaos sweep: FAIL")
+		os.Exit(1)
+	}
+	fmt.Printf("chaos sweep: PASS (%d seeds, bit-identical replays, contract held)\n", len(results))
+}
+
+// runChaos executes one seeded chaos run and folds the result into the
+// comparable summary. The plan stacks every fault family the framework
+// supports on top of a ManDyn-driven run so the sensor, clock-control
+// and rank layers all see injections.
+func runChaos(spec cluster.NodeSpec, seed uint64, ranks, steps int, ppr float64, crash bool) (seedResult, error) {
+	max := spec.GPUSpec.MaxSMClockMHz
+	plan := &faults.Plan{Name: fmt.Sprintf("chaos-%d", seed), Seed: seed, Rules: []faults.Rule{
+		{Kind: faults.Transient, Target: faults.TargetSensor, Probability: 0.15},
+		{Kind: faults.Stuck, Target: faults.TargetNodeSensor, Probability: 0.05, Burst: 3},
+		{Kind: faults.ClampedClock, Target: faults.TargetClock, MHz: max * 2 / 3, StartS: 5},
+		{Kind: faults.Straggler, Target: faults.TargetRank, Ranks: []int{0}, Probability: 0.1, Factor: 2},
+	}}
+	policy := ""
+	if crash && ranks > 1 {
+		plan.Rules = append(plan.Rules, faults.Rule{
+			Kind: faults.RankCrash, Target: faults.TargetRank, Ranks: []int{ranks - 1}, Step: steps / 2,
+		})
+		policy = core.DegradeDropRank
+	}
+	cfg := sphenergy.Config{
+		System:           spec,
+		Ranks:            ranks,
+		Sim:              core.Turbulence,
+		ParticlesPerRank: ppr,
+		Steps:            steps,
+		Seed:             seed,
+		Tracer:           telemetry.NewTracer(ranks),
+		Metrics:          telemetry.NewRegistry(),
+		Sampling:         sampler.Config{GPUHz: 100, NodeHz: 10},
+		Faults:           plan,
+		Degradation:      policy,
+		NewStrategy: func() freqctl.Strategy {
+			return &freqctl.ManDyn{Table: map[string]int{
+				core.FnMomentum: max, core.FnIAD: max,
+			}, Default: max * 3 / 4}
+		},
+	}
+	res, err := sphenergy.Run(cfg)
+	if err != nil {
+		return seedResult{}, err
+	}
+	if res.Attribution == nil {
+		return seedResult{}, fmt.Errorf("no attribution produced")
+	}
+	return seedResult{
+		Seed:       seed,
+		WallTimeS:  res.WallTimeS,
+		EnergyJ:    res.EnergyJ(),
+		AttribPass: res.Attribution.Pass,
+		AggErrPct:  res.Attribution.AggErrPct,
+		Degraded:   res.Attribution.DegradedRows,
+		Faults:     res.Faults,
+		Kernels:    res.Attribution.Kernels,
+		Failures:   res.Failures,
+	}, nil
+}
+
+func injectionSummary(f *faults.Report) string {
+	if f == nil || len(f.Injected) == 0 {
+		return "none"
+	}
+	total := uint64(0)
+	for _, ic := range f.Injected {
+		total += ic.Count
+	}
+	return fmt.Sprintf("%d across %d streams", total, len(f.Injected))
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultbench:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,8 @@
 //	sphexa -sim turbulence -ranks 4 -strategy mandyn -trace-out run.trace.json \
 //	    -metrics-out metrics.json -metrics-addr :9090
 //	sphexa -sim turbulence -ranks 2 -s 3 -ppr 10e6 -energy-validate
+//	sphexa -sim turbulence -ranks 2 -s 3 -ppr 10e6 -energy-validate \
+//	    -fault-plan plan.json -degradation drop-rank
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"sphenergy"
 	"sphenergy/internal/core"
+	"sphenergy/internal/faults"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/report"
 	"sphenergy/internal/sampler"
@@ -53,6 +56,9 @@ func main() {
 		sampleHz     = flag.Float64("sample-hz", 0, "async per-GPU power sampling rate in Hz (0 disables sampling)")
 		sampleNodeHz = flag.Float64("sample-node-hz", sampler.DefaultNodeHz, "async node-sensor (BMC/pm_counters) sampling rate in Hz")
 		validate     = flag.Bool("energy-validate", false, "run as a Slurm job with async sampling and print the per-kernel attribution and three-way cross-source energy validation")
+
+		faultPlan   = flag.String("fault-plan", "", "fault-injection plan: a JSON file path or inline JSON (see internal/faults)")
+		degradation = flag.String("degradation", "", "rank-failure degradation policy: abort, drop-rank or redistribute (default abort)")
 	)
 	flag.Parse()
 
@@ -91,6 +97,12 @@ func main() {
 	if *metricsOut != "" || *metricsAddr != "" {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	if *faultPlan != "" {
+		plan, err := faults.LoadPlan(*faultPlan)
+		fatalIf(err)
+		cfg.Faults = plan
+	}
+	cfg.Degradation = *degradation
 	if *metricsAddr != "" {
 		srv, err := telemetry.ServeMetrics(*metricsAddr, cfg.Metrics)
 		fatalIf(err)
@@ -156,6 +168,10 @@ func main() {
 	if res.Report.Validation != nil {
 		fmt.Println()
 		fmt.Print(report.RenderValidation(res.Report.Validation))
+	}
+	if res.Report.Faults != nil {
+		fmt.Println()
+		fmt.Print(report.RenderFaults(res.Report.Faults))
 	}
 
 	if !*quiet {

@@ -29,6 +29,17 @@
 // Pass reflects both gates. Unresolvable rows keep their raw error in the
 // tables (marked Resolvable=false) so the rate-versus-resolution trade-off
 // stays visible instead of being filtered away.
+//
+// # Degraded intervals
+//
+// When the sampler ran through sensor faults, ticks covering the outages
+// carry sampler.Sample.Degraded — their energy is estimated, not
+// observed. Attribution rows whose spans overlap such ticks are flagged
+// (Row.Degraded, with the overlapping share in Row.DegradedPct) and
+// excluded from both tolerance gates, the same treatment unresolvable
+// rows get: an estimate must not fail — or pass — an accuracy contract
+// about observed data. The flags propagate so reports can show exactly
+// which table entries rest on estimated energy.
 package attrib
 
 import (
@@ -89,6 +100,20 @@ type Row struct {
 	// Resolvable marks rows whose mean call outlasts the resolvability
 	// threshold; only these are individually gated.
 	Resolvable bool `json:"resolvable"`
+	// ClockMHz is the span-time-weighted achieved SM clock (kernel rows
+	// only; from the tracer's clock_mhz arg, i.e. the clock the device
+	// actually ran, not the one the strategy requested). 0 when unknown.
+	ClockMHz float64 `json:"clock_mhz,omitempty"`
+	// Degraded marks rows whose spans overlap sampler ticks flagged as
+	// estimated; such rows are excluded from the tolerance gates.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedPct is the share of the row's span time covered by degraded
+	// sampler intervals.
+	DegradedPct float64 `json:"degraded_pct,omitempty"`
+
+	// accumulation scratch (not serialized)
+	clockWeight float64
+	degradedS   float64
 }
 
 // RankSummary aggregates one rank's attribution.
@@ -115,8 +140,15 @@ type Attribution struct {
 	// MaxResolvableErrPct is the worst per-row error among resolvable
 	// kernel rows.
 	MaxResolvableErrPct float64 `json:"max_resolvable_err_pct"`
-	// Pass reports the two-gate tolerance contract (package comment).
+	// Pass reports the two-gate tolerance contract (package comment),
+	// evaluated over clean rows only — degraded rows are classified, not
+	// gated.
 	Pass bool `json:"pass"`
+	// Degraded reports whether any kernel row overlapped estimated
+	// sampler intervals; DegradedRows/DegradedEnergyJ size the exclusion.
+	Degraded        bool    `json:"degraded,omitempty"`
+	DegradedRows    int     `json:"degraded_rows,omitempty"`
+	DegradedEnergyJ float64 `json:"degraded_energy_j,omitempty"`
 }
 
 // energySeries evaluates cumulative sampled energy at arbitrary times by
@@ -124,6 +156,13 @@ type Attribution struct {
 type energySeries struct {
 	times    []float64
 	energies []float64
+	// Degraded-interval index: degSeg[i] flags the interval ending at
+	// times[i] (a degraded tick covers the window since the previous
+	// tick); degPrefix[i] is the cumulative degraded time up to times[i],
+	// making span overlap an O(log n) query.
+	degSeg    []bool
+	degPrefix []float64
+	degAny    bool
 }
 
 func newEnergySeries(samples []sampler.Sample) *energySeries {
@@ -134,8 +173,71 @@ func newEnergySeries(samples []sampler.Sample) *energySeries {
 	for i, s := range samples {
 		es.times[i] = s.TimeS
 		es.energies[i] = s.EnergyJ
+		if s.Degraded {
+			es.degAny = true
+		}
+	}
+	if es.degAny {
+		es.degSeg = make([]bool, len(samples))
+		es.degPrefix = make([]float64, len(samples))
+		for i := 1; i < len(samples); i++ {
+			es.degSeg[i] = samples[i].Degraded
+			es.degPrefix[i] = es.degPrefix[i-1]
+			if es.degSeg[i] {
+				es.degPrefix[i] += es.times[i] - es.times[i-1]
+			}
+		}
 	}
 	return es
+}
+
+// degAt returns the cumulative degraded time up to t.
+func (es *energySeries) degAt(t float64) float64 {
+	n := len(es.times)
+	if !es.degAny || n == 0 || t <= es.times[0] {
+		return 0
+	}
+	if t >= es.times[n-1] {
+		return es.degPrefix[n-1]
+	}
+	i := sort.SearchFloat64s(es.times, t) // first index with times[i] >= t
+	if es.times[i] == t {
+		return es.degPrefix[i]
+	}
+	p := es.degPrefix[i-1]
+	if es.degSeg[i] {
+		p += t - es.times[i-1]
+	}
+	return p
+}
+
+// degradedOverlap returns the degraded time inside [startS, endS].
+// Spans too short to contain an interior sample interval are estimated
+// from their *neighbor* intervals (atStart extends the preceding one,
+// atEnd the following one), so for those the query widens to the
+// borrowed intervals: such a span rests on estimated data even when its
+// own time window is clean. The result is capped at the span duration
+// so DegradedPct stays a fraction of the span.
+func (es *energySeries) degradedOverlap(startS, endS float64) float64 {
+	if !es.degAny || endS <= startS {
+		return 0
+	}
+	n := len(es.times)
+	lo := sort.SearchFloat64s(es.times, startS)
+	hi := sort.Search(n, func(i int) bool { return es.times[i] > endS }) - 1
+	if lo < n && hi >= 0 && hi > lo {
+		// Interior-interval spans (integrate's exact path) draw only on
+		// samples inside their window; strict overlap is the whole story.
+		return es.degAt(endS) - es.degAt(startS)
+	}
+	padLo, padHi := startS, endS
+	if i := es.locate(startS); i > 0 {
+		padLo = es.times[i-1]
+	}
+	if i := es.locate(endS); i >= 0 && i+2 < n {
+		padHi = es.times[i+2]
+	}
+	return math.Min(es.degAt(padHi)-es.degAt(padLo), endS-startS)
 }
 
 // locate returns the interval index i with times[i] <= t < times[i+1],
@@ -303,6 +405,10 @@ func Build(spans []telemetry.SpanEvent, series map[int][]sampler.Sample, opts Op
 		truth, _ := sp.Arg(truthKey)
 		row.ModelJ += truth
 		row.SampledJ += s.integrate(sp.StartS, sp.EndS())
+		row.degradedS += s.degradedOverlap(sp.StartS, sp.EndS())
+		if clock, ok := sp.Arg("clock_mhz"); ok {
+			row.clockWeight += clock * sp.DurS
+		}
 	}
 
 	minDur := 0.0
@@ -318,6 +424,13 @@ func Build(spans []telemetry.SpanEvent, series map[int][]sampler.Sample, opts Op
 			r.ErrPct = relErrPct(r.SampledJ, r.ModelJ)
 			r.EDPJs = r.SampledJ * r.TimeS
 			r.Resolvable = minDur == 0 || r.MeanCallS >= minDur
+			if r.TimeS > 0 {
+				if r.clockWeight > 0 {
+					r.ClockMHz = r.clockWeight / r.TimeS
+				}
+				r.DegradedPct = 100 * r.degradedS / r.TimeS
+			}
+			r.Degraded = r.degradedS > 0
 			out = append(out, *r)
 		}
 		sort.Slice(out, func(a, b int) bool {
@@ -351,10 +464,17 @@ func Build(spans []telemetry.SpanEvent, series map[int][]sampler.Sample, opts Op
 	}
 	sort.Slice(a.Ranks, func(i, j int) bool { return a.Ranks[i].Rank < a.Ranks[j].Rank })
 
-	// The two tolerance gates.
+	// The two tolerance gates, over clean rows only: degraded rows carry
+	// estimated energy and are classified instead of gated.
 	var wErr, wSum float64
 	pass := true
 	for _, r := range a.Kernels {
+		if r.Degraded {
+			a.Degraded = true
+			a.DegradedRows++
+			a.DegradedEnergyJ += r.ModelJ
+			continue
+		}
 		wErr += math.Abs(r.ErrPct) * r.ModelJ
 		wSum += r.ModelJ
 		if r.Resolvable {
@@ -403,6 +523,18 @@ func (a *Attribution) TopKernels(n int) []Row {
 		agg.ModelJ += r.ModelJ
 		agg.SampledJ += r.SampledJ
 		agg.Resolvable = agg.Resolvable && r.Resolvable
+		agg.Degraded = agg.Degraded || r.Degraded
+		// The scratch accumulators don't survive a JSON round trip
+		// (energyreport re-aggregates rows read from disk), so rebuild
+		// them from the exported per-row values when they're empty.
+		if r.clockWeight == 0 && r.ClockMHz > 0 {
+			r.clockWeight = r.ClockMHz * r.TimeS
+		}
+		if r.degradedS == 0 && r.DegradedPct > 0 {
+			r.degradedS = r.DegradedPct / 100 * r.TimeS
+		}
+		agg.clockWeight += r.clockWeight
+		agg.degradedS += r.degradedS
 	}
 	out := make([]Row, 0, len(byName))
 	for _, r := range byName {
@@ -411,6 +543,13 @@ func (a *Attribution) TopKernels(n int) []Row {
 		}
 		r.ErrPct = relErrPct(r.SampledJ, r.ModelJ)
 		r.EDPJs = r.SampledJ * r.TimeS
+		if r.TimeS > 0 {
+			if r.clockWeight > 0 {
+				r.ClockMHz = r.clockWeight / r.TimeS
+			}
+			r.DegradedPct = 100 * r.degradedS / r.TimeS
+		}
+		r.Degraded = r.Degraded || r.degradedS > 0
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -437,7 +576,14 @@ type Source struct {
 	// (e.g. the loop-only PMT reading, which legitimately excludes job
 	// setup energy — the Fig. 3 gap).
 	Informational bool `json:"informational,omitempty"`
-	// Pass is |RelErrPct| <= threshold (true for informational rows).
+	// Degraded marks sources whose reading rests on estimated data (a
+	// sensor path that failed over during the run). Degraded sources are
+	// reported but excluded from the gate, like Informational ones, and
+	// their disagreement is classified as unresolvable rather than a
+	// failure.
+	Degraded bool `json:"degraded,omitempty"`
+	// Pass is |RelErrPct| <= threshold (true for informational and
+	// degraded rows).
 	Pass bool `json:"pass"`
 }
 
@@ -478,6 +624,28 @@ func (v *Validation) Add(name string, energyJ float64, informational bool) *Vali
 	return v
 }
 
+// MarkDegraded flags the named source as degraded: it stops gating Pass
+// and its disagreement with the reference is classified as unresolvable
+// (the reading rests on failed-over or estimated sensor data, so neither
+// agreement nor disagreement is evidence). The overall verdict is
+// recomputed from the remaining gating sources.
+func (v *Validation) MarkDegraded(name string) *Validation {
+	for i := range v.Sources {
+		if v.Sources[i].Name == name {
+			v.Sources[i].Degraded = true
+			v.Sources[i].Pass = true
+		}
+	}
+	v.Pass = true
+	for _, s := range v.Sources {
+		if !s.Informational && !s.Degraded &&
+			math.Abs(s.RelErrPct) > v.ThresholdPct {
+			v.Pass = false
+		}
+	}
+	return v
+}
+
 // Get returns the named source reading.
 func (v *Validation) Get(name string) (Source, bool) {
 	for _, s := range v.Sources {
@@ -488,10 +656,15 @@ func (v *Validation) Get(name string) (Source, bool) {
 	return Source{}, false
 }
 
-// Summary renders a one-line verdict ("PASS: 3/3 sources within 2%").
+// Summary renders a one-line verdict ("PASS: 3/3 sources within 2%"),
+// noting degraded sources excluded from the gate.
 func (v *Validation) Summary() string {
-	gated, ok := 0, 0
+	gated, ok, degraded := 0, 0, 0
 	for _, s := range v.Sources {
+		if s.Degraded {
+			degraded++
+			continue
+		}
 		if s.Informational {
 			continue
 		}
@@ -504,6 +677,10 @@ func (v *Validation) Summary() string {
 	if !v.Pass {
 		verdict = "FAIL"
 	}
-	return fmt.Sprintf("%s: %d/%d sources within %.3g%% of model reference",
+	out := fmt.Sprintf("%s: %d/%d sources within %.3g%% of model reference",
 		verdict, ok, gated, v.ThresholdPct)
+	if degraded > 0 {
+		out += fmt.Sprintf(" (%d degraded, unresolvable)", degraded)
+	}
+	return out
 }

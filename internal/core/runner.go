@@ -7,13 +7,12 @@ import (
 
 	"sphenergy/internal/attrib"
 	"sphenergy/internal/cluster"
+	"sphenergy/internal/faults"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/gpusim"
 	"sphenergy/internal/instr"
 	"sphenergy/internal/mpisim"
-	"sphenergy/internal/nvml"
 	"sphenergy/internal/pmt"
-	"sphenergy/internal/rsmi"
 	"sphenergy/internal/sampler"
 	"sphenergy/internal/telemetry"
 )
@@ -73,6 +72,20 @@ type Config struct {
 	// Result.Attribution; with Metrics present, live power gauges and
 	// cumulative-energy counters are exported per sensor.
 	Sampling sampler.Config
+	// Faults, when non-nil and active, injects the plan's fault rules into
+	// the run: sensor-read faults on every rank's GPU sensor and every
+	// node's pm_counters view, clock-control faults on every rank's setter
+	// (which is then wrapped in a freqctl.ResilientSetter), and
+	// straggler/crash faults on rank execution. Nil keeps the healthy path
+	// byte-identical to an unfaulted run.
+	Faults *faults.Plan
+	// Degradation selects the rank-failure policy: DegradeAbort (default),
+	// DegradeDropRank or DegradeRedistribute.
+	Degradation string
+	// Resilience tunes the resilient setter wrapped around each rank's
+	// clock control when Faults is active; the zero value uses defaults
+	// (per-rank jitter seeds derived from Seed).
+	Resilience freqctl.ResilienceConfig
 }
 
 // Defaulted returns the config with defaults filled in.
@@ -119,6 +132,13 @@ func (c Config) Validate() error {
 	if memNeed > c.System.GPUSpec.MemSizeGB {
 		return fmt.Errorf("core: %g particles/rank need %.0f GB > %s's %.0f GB GPU memory",
 			c.ParticlesPerRank, memNeed, c.System.Name, c.System.GPUSpec.MemSizeGB)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if !validPolicy(c.Degradation) {
+		return fmt.Errorf("core: unknown degradation policy %q (want %s, %s or %s)",
+			c.Degradation, DegradeAbort, DegradeDropRank, DegradeRedistribute)
 	}
 	return nil
 }
@@ -173,6 +193,12 @@ type Result struct {
 	// accounting (also attached to Report); non-nil when both Sampling and
 	// a Tracer were configured.
 	Attribution *attrib.Attribution
+	// Failures lists injected rank deaths handled by the degradation
+	// policy (empty on healthy runs and under DegradeAbort, which errors).
+	Failures []RankFailure
+	// Faults summarizes injections and resilience actions; nil when no
+	// plan was configured.
+	Faults *FaultReport
 }
 
 // EnergyJ returns total allocation energy.
@@ -226,6 +252,8 @@ func Run(cfg Config) (*Result, error) {
 		world.SetRecorder(rec)
 	}
 
+	fs := newFaultState(cfg, len(system.Nodes))
+
 	ranks := make([]*rankCtx, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		node, dev, err := system.DeviceForRank(r)
@@ -244,7 +272,8 @@ func Run(cfg Config) (*Result, error) {
 			profile:  instr.NewRankProfile(r),
 		}
 		rc.profile.SeriesEnabled = cfg.KeepSeries
-		rc.sensor = sensorFor(dev)
+		rc.sensor = faultedSensorFor(dev, fs.sensorHook(r, dev))
+		fs.wireRank(rc, r, cfg)
 		rt.instrumentRank(rc, r)
 		ranks[r] = rc
 	}
@@ -269,9 +298,28 @@ func Run(cfg Config) (*Result, error) {
 			rc.samp = smp.AddRank(r, rc.sensor)
 		}
 		for i, n := range system.Nodes {
-			smp.AddNode(i, pmt.NewCray(n, pmt.CrayNode, 0))
+			smp.AddNode(i, fs.nodeSensor(i, n, world.MaxClock))
 		}
 		smp.PollAll()
+	}
+
+	// On any mid-run failure the hardware state is restored before
+	// returning: every rank's clocks are reset (best-effort) and the
+	// sampler takes a final flush so partial series stay consistent. The
+	// partial Result carries the system and sampler for diagnosis.
+	fail := func(err error) (*Result, error) {
+		for _, rc := range ranks {
+			_ = rc.setter.ResetClocks()
+		}
+		if smp != nil {
+			smp.PollAll()
+		}
+		res := &Result{System: system, Sampler: smp}
+		if fs != nil {
+			res.Failures = fs.failures
+			res.Faults = fs.report(smp, cfg.Metrics)
+		}
+		return res, err
 	}
 
 	// Job setup phase: launch, allocation, host→device transfer. GPUs are
@@ -304,7 +352,9 @@ func Run(cfg Config) (*Result, error) {
 	// instrumentation point at time-stepping start).
 	for _, rc := range ranks {
 		if err := rc.strategy.Setup(rc.setter); err != nil {
-			return nil, fmt.Errorf("core: strategy setup: %w", err)
+			// Earlier ranks may already hold non-default clocks; fail()
+			// resets them all.
+			return fail(fmt.Errorf("core: strategy setup: %w", err))
 		}
 	}
 
@@ -324,11 +374,20 @@ func Run(cfg Config) (*Result, error) {
 		strategyErrMu.Unlock()
 	}
 
+	// Rank fault injection: the world consults the per-rank injectors at
+	// every phase; curStep and load are written by the coordinator between
+	// phases only, ordered against the rank goroutines by the worker
+	// channel handoff.
+	curStep := 0
+	load := 1.0
+	fs.wireWorld(world, ranks, func() int { return curStep })
+
 	// Step telemetry reuses bounds the loop computes anyway: the step span
 	// runs from the previous step's boundary, and its energy accumulates
 	// from the per-rank attribution below — no extra clock or meter reads.
 	stepStart := t0
 	for step := 0; step < cfg.Steps; step++ {
+		curStep = step
 		stepJ := 0.0
 		for _, fn := range pipeline {
 			commS := commTime(fn, cfg, net)
@@ -340,16 +399,20 @@ func Run(cfg Config) (*Result, error) {
 
 			phaseStart := world.MaxClock()
 			gpuStart := make([]pmt.State, cfg.Ranks)
+			ran := make([]bool, cfg.Ranks)
 
-			// Kernel execution on every rank, concurrently.
+			// Kernel execution on every rank, concurrently. Dead ranks are
+			// skipped by the world; load > 1 spreads failed ranks' particles
+			// over the survivors (DegradeRedistribute).
 			durs := world.Execute(func(r int) float64 {
 				rc := ranks[r]
 				if err := rc.strategy.Apply(rc.setter, fn.Name); err != nil {
 					reportErr(fmt.Errorf("core: strategy apply on rank %d: %w", r, err))
 					return 0
 				}
+				ran[r] = true
 				gpuStart[r] = rc.sensor.Read()
-				desc := fn.Kernel(cfg.ParticlesPerRank*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
+				desc := fn.Kernel(cfg.ParticlesPerRank*load*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
 				dur := rc.dev.Execute(desc)
 				rc.samp.Poll()
 				return dur
@@ -389,8 +452,18 @@ func Run(cfg Config) (*Result, error) {
 			// host energy as the rank's share of its node's delta.
 			rpn := float64(system.RanksPerNode())
 			for r, rc := range ranks {
+				if !ran[r] {
+					continue // dead rank: no kernel, no sensor window
+				}
 				end := rc.sensor.Read()
 				gpuJ := pmt.Joules(gpuStart[r], end)
+				if math.IsNaN(gpuJ) {
+					// Faulted sensor window: the in-band reading is unusable,
+					// so the phase's GPU energy is dropped from the profile
+					// (meter-based report totals are unaffected) instead of
+					// poisoning downstream aggregates.
+					gpuJ = 0
+				}
 				ni := r / system.RanksPerNode()
 				cpuJ := (system.Nodes[ni].CPUEnergyJ() - cpuBefore[ni]) / rpn
 				memJ := (system.Nodes[ni].Mem.Meter.EnergyJ() - memBefore[ni]) / rpn
@@ -410,7 +483,14 @@ func Run(cfg Config) (*Result, error) {
 			stepStart = bound
 		}
 		if strategyErr != nil {
-			return nil, strategyErr
+			return fail(strategyErr)
+		}
+		// Step-level failure detection: record new rank deaths and let the
+		// degradation policy decide whether (and how) the run continues.
+		var ferr error
+		load, ferr = fs.checkStep(world, step, cfg.Ranks)
+		if ferr != nil {
+			return fail(ferr)
 		}
 	}
 
@@ -457,7 +537,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	return &Result{
+	res := &Result{
 		Report:          report,
 		System:          system,
 		WallTimeS:       wall,
@@ -467,7 +547,13 @@ func Run(cfg Config) (*Result, error) {
 		SetupEnergyJ:    setupJ,
 		Sampler:         smp,
 		Attribution:     attribution,
-	}, nil
+	}
+	if fs != nil {
+		res.Failures = fs.failures
+		res.Faults = fs.report(smp, cfg.Metrics)
+		report.Faults = res.Faults
+	}
+	return res, nil
 }
 
 // systemEnergy sums all component meters of the allocation.
@@ -482,21 +568,7 @@ func systemEnergy(s *cluster.System) float64 {
 // sensorFor builds the vendor-appropriate PMT GPU sensor for a device —
 // the back-end selection PMT performs at Create() time.
 func sensorFor(dev *gpusim.Device) pmt.Sensor {
-	switch dev.Spec().Vendor {
-	case gpusim.AMD:
-		lib, err := rsmi.New([]*gpusim.Device{dev})
-		if err == nil {
-			return pmt.NewRSMI(lib, 0, dev)
-		}
-	default:
-		lib, err := nvml.New([]*gpusim.Device{dev})
-		if err == nil && lib.Init() == nil {
-			if h, err := lib.DeviceGetHandleByIndex(0); err == nil {
-				return pmt.NewNVML(h)
-			}
-		}
-	}
-	return pmt.Dummy{}
+	return faultedSensorFor(dev, nil)
 }
 
 // commTime computes the function's post-kernel communication cost.

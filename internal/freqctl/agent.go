@@ -66,9 +66,16 @@ func NewAgent(policy Policy) *Agent {
 }
 
 // RequestSet asks the agent to lock a device's SM clock for a user.
+// Non-physical requests (zero, negative, or float inputs that were NaN
+// before conversion — see ValidMHz) are denied and audited before policy
+// is consulted.
 func (a *Agent) RequestSet(user string, s Setter, mhz int) (int, error) {
 	entry := AuditEntry{User: user, Op: "set", MHz: mhz}
 	defer a.record(&entry)
+	if _, err := ValidMHz(float64(mhz)); err != nil {
+		entry.Err = err.Error()
+		return 0, err
+	}
 	if err := a.policy.permits(user, mhz); err != nil {
 		entry.Err = err.Error()
 		return 0, err

@@ -196,15 +196,26 @@ type ManDyn struct {
 	// Default applies to functions not in the table; 0 means max clock.
 	Default int
 
-	last int // avoids redundant clock-set calls
+	// Redundant-set elision keys on the *requested* clock, not the applied
+	// one: when the platform clamps a request (a table entry above a
+	// fault-injected ceiling, or between supported steps), applied != mhz
+	// forever, and eliding on applied would re-issue the same doomed set
+	// before every function call instead of converging.
+	lastReq int
+	last    int // last applied clock, for reporting
 }
 
 // Name implements Strategy.
 func (m *ManDyn) Name() string { return "mandyn" }
 
+// LastApplied returns the clock most recently reported applied by the
+// setter — the achieved frequency, which under clamping differs from the
+// table entry.
+func (m *ManDyn) LastApplied() int { return m.last }
+
 // Setup implements Strategy.
 func (m *ManDyn) Setup(s Setter) error {
-	m.last = 0
+	m.lastReq, m.last = 0, 0
 	def := m.Default
 	if def == 0 {
 		def = s.MaxSMClock()
@@ -213,7 +224,7 @@ func (m *ManDyn) Setup(s Setter) error {
 	if err != nil {
 		return err
 	}
-	m.last = applied
+	m.lastReq, m.last = def, applied
 	return nil
 }
 
@@ -226,14 +237,15 @@ func (m *ManDyn) Apply(s Setter, function string) error {
 			mhz = s.MaxSMClock()
 		}
 	}
-	if mhz == m.last {
+	if mhz == m.lastReq {
 		return nil
 	}
 	applied, err := s.SetSMClock(mhz)
 	if err != nil {
+		m.lastReq = 0 // unknown state: do not elide the next set
 		return err
 	}
-	m.last = applied
+	m.lastReq, m.last = mhz, applied
 	return nil
 }
 

@@ -1,0 +1,325 @@
+package freqctl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"sphenergy/internal/faults"
+	"sphenergy/internal/gpusim"
+)
+
+// flakySetter fails SetSMClock according to a script: entry i is the error
+// for call i (nil = success). Past the script everything succeeds. Safe
+// for concurrent use.
+type flakySetter struct {
+	mu     sync.Mutex
+	script []error
+	calls  int
+	resets int
+	mhz    int
+	max    int
+	clamp  int // when >0, successful sets are clamped to this
+}
+
+func (f *flakySetter) SetSMClock(mhz int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := f.calls
+	f.calls++
+	if i < len(f.script) && f.script[i] != nil {
+		return 0, f.script[i]
+	}
+	if f.clamp > 0 && mhz > f.clamp {
+		mhz = f.clamp
+	}
+	f.mhz = mhz
+	return mhz, nil
+}
+
+func (f *flakySetter) ResetClocks() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.resets++
+	return nil
+}
+
+func (f *flakySetter) MaxSMClock() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.max == 0 {
+		return 1410
+	}
+	return f.max
+}
+
+func (f *flakySetter) SetPowerLimitW(float64) error { return nil }
+
+func (f *flakySetter) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+var errFlaky = errors.New("flaky")
+
+func TestResilientSetterRetriesThroughTransients(t *testing.T) {
+	inner := &flakySetter{script: []error{errFlaky, errFlaky, nil}}
+	r := NewResilientSetter(inner, ResilienceConfig{MaxRetries: 2})
+	applied, err := r.SetSMClock(1005)
+	if err != nil || applied != 1005 {
+		t.Fatalf("SetSMClock = (%d, %v), want (1005, nil)", applied, err)
+	}
+	st := r.Stats()
+	if st.Retries != 2 || st.Sets != 1 || st.Absorbed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BackoffS <= 0 {
+		t.Fatal("no backoff accrued")
+	}
+}
+
+func TestResilientSetterAbsorbsExhaustedFailure(t *testing.T) {
+	inner := &flakySetter{script: []error{nil, errFlaky, errFlaky, errFlaky}}
+	r := NewResilientSetter(inner, ResilienceConfig{MaxRetries: 2, BreakerThreshold: 5})
+	if _, err := r.SetSMClock(1200); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := r.SetSMClock(900)
+	if err != nil {
+		t.Fatalf("exhausted failure must be absorbed, got %v", err)
+	}
+	if applied != 1200 {
+		t.Fatalf("absorbed set returned %d, want last applied 1200", applied)
+	}
+	st := r.Stats()
+	if st.Absorbed != 1 || st.Broken {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientSetterBreakerLatchesSafeClock(t *testing.T) {
+	// The first 6 calls fail — 3 sets × 2 attempts each — so every set
+	// exhausts its retries; after BreakerThreshold consecutive exhaustions
+	// the breaker trips and pins the safe clock (call 7, which succeeds).
+	script := make([]error, 6)
+	for i := range script {
+		script[i] = errFlaky
+	}
+	inner := &flakySetter{script: script}
+	r := NewResilientSetter(inner, ResilienceConfig{MaxRetries: 1, BreakerThreshold: 3, SafeMHz: 1095})
+	for i := 0; i < 3; i++ {
+		if _, err := r.SetSMClock(900); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.Broken() {
+		t.Fatal("breaker should be latched after 3 exhausted failures")
+	}
+	if inner.mhz != 1095 {
+		t.Fatalf("device clock %d, want safe 1095", inner.mhz)
+	}
+	before := inner.callCount()
+	applied, err := r.SetSMClock(600)
+	if err != nil || applied != 1095 {
+		t.Fatalf("post-latch set = (%d, %v), want (1095, nil)", applied, err)
+	}
+	if inner.callCount() != before {
+		t.Fatal("latched breaker still reached the device")
+	}
+	st := r.Stats()
+	if st.BreakerTrips != 1 || st.ShortCircuits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientSetterRejectsInvalidMHz(t *testing.T) {
+	r := NewResilientSetter(&flakySetter{}, ResilienceConfig{})
+	for _, mhz := range []int{0, -5} {
+		if _, err := r.SetSMClock(mhz); err == nil {
+			t.Errorf("SetSMClock(%d) accepted", mhz)
+		}
+	}
+	if _, err := ValidMHz(math.NaN()); err == nil {
+		t.Error("ValidMHz(NaN) accepted")
+	}
+	if _, err := ValidMHz(math.Inf(1)); err == nil {
+		t.Error("ValidMHz(+Inf) accepted")
+	}
+	if v, err := ValidMHz(1005.9); err != nil || v != 1005 {
+		t.Errorf("ValidMHz(1005.9) = (%d, %v)", v, err)
+	}
+}
+
+func TestResilientSetterVerifiesAchievedClock(t *testing.T) {
+	inner := &flakySetter{clamp: 801}
+	r := NewResilientSetter(inner, ResilienceConfig{})
+	applied, err := r.SetSMClock(1005)
+	if err != nil || applied != 801 {
+		t.Fatalf("clamped set = (%d, %v), want (801, nil)", applied, err)
+	}
+	if st := r.Stats(); st.Clamped != 1 || st.LastApplied != 801 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResilientSetterDeterministicBackoff(t *testing.T) {
+	run := func() float64 {
+		inner := &flakySetter{script: []error{errFlaky, errFlaky, nil}}
+		r := NewResilientSetter(inner, ResilienceConfig{MaxRetries: 2, Seed: 7})
+		if _, err := r.SetSMClock(1005); err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats().BackoffS
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("backoff not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestManDynConvergesUnderClamp(t *testing.T) {
+	// Regression for the clamp-thrash bug: when the platform clamps the
+	// table clock, elision must key on the requested clock, or every
+	// Apply re-issues the same doomed set.
+	inner := &flakySetter{clamp: 801}
+	m := &ManDyn{Table: map[string]int{"momentum": 1005}, Default: 1410}
+	if err := m.Setup(inner); err != nil {
+		t.Fatal(err)
+	}
+	setsAfterSetup := inner.callCount()
+	for i := 0; i < 5; i++ {
+		if err := m.Apply(inner, "momentum"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.callCount() - setsAfterSetup; got != 1 {
+		t.Fatalf("clamped table clock issued %d sets over 5 applies, want 1", got)
+	}
+	if m.LastApplied() != 801 {
+		t.Fatalf("LastApplied = %d, want achieved 801", m.LastApplied())
+	}
+	// Switching to another function and back must still re-issue.
+	if err := m.Apply(inner, "other"); err != nil { // default 1410 → clamped 801
+		t.Fatal(err)
+	}
+	if err := m.Apply(inner, "momentum"); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.callCount() - setsAfterSetup; got != 3 {
+		t.Fatalf("function switches issued %d sets, want 3", got)
+	}
+}
+
+func TestManDynWithResilientSetterUnderFaultPlan(t *testing.T) {
+	// End-to-end: ManDyn through a ResilientSetter over a real NVML-backed
+	// device with an injected clamped-clock window. The strategy must
+	// converge (no set storm) and report the achieved clock.
+	dev := gpusim.NewDevice(gpusim.A100SXM480GB(), 0)
+	s, err := SetterFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &faults.Plan{Seed: 3, Rules: []faults.Rule{
+		{Kind: faults.ClampedClock, Target: faults.TargetClock, MHz: 900},
+	}}
+	if !AttachFaultHook(s, plan.Injector(faults.TargetClock, 0).ClockHook(dev.Now)) {
+		t.Fatal("AttachFaultHook failed on NVML setter")
+	}
+	r := NewResilientSetter(s, ResilienceConfig{})
+	m := &ManDyn{Table: map[string]int{"momentum": 1005}}
+	if err := m.Setup(r); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := m.Apply(r, "momentum"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 900 is not in the A100 table; the device snaps to the nearest
+	// supported application clock at or below the injector's ceiling.
+	if m.LastApplied() >= 1005 || m.LastApplied() <= 0 {
+		t.Fatalf("LastApplied = %d, want clamped below request", m.LastApplied())
+	}
+	if dev.SMClockMHz() != m.LastApplied() {
+		t.Fatalf("device at %d MHz but strategy reports %d", dev.SMClockMHz(), m.LastApplied())
+	}
+	if st := r.Stats(); st.Clamped == 0 {
+		t.Fatalf("clamp not observed: %+v", st)
+	}
+}
+
+func TestAgentRejectsNonPhysicalMHz(t *testing.T) {
+	agent := NewAgent(Policy{})
+	inner := &flakySetter{}
+	for _, mhz := range []int{0, -100} {
+		if _, err := agent.RequestSet("user", inner, mhz); err == nil {
+			t.Errorf("RequestSet(%d) accepted", mhz)
+		}
+	}
+	if inner.callCount() != 0 {
+		t.Fatal("invalid requests reached the device")
+	}
+	audit := agent.Audit()
+	if len(audit) != 2 || audit[0].Err == "" {
+		t.Fatalf("invalid requests not audited: %+v", audit)
+	}
+}
+
+func TestMediatedSettersConcurrent(t *testing.T) {
+	// Many ranks hammer one agent through mediated setters while another
+	// goroutine reads the audit log — the satellite's -race policy test.
+	agent := NewAgent(Policy{MinMHz: 500, MaxMHz: 1400})
+	const ranks = 8
+	setters := make([]MediatedSetter, ranks)
+	inners := make([]*flakySetter, ranks)
+	for i := range setters {
+		inners[i] = &flakySetter{}
+		setters[i] = MediatedSetter{Agent: agent, User: fmt.Sprintf("rank%d", i), Inner: inners[i]}
+	}
+	var wg sync.WaitGroup
+	for i := range setters {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				mhz := 600 + 10*(j%40)
+				if _, err := setters[i].SetSMClock(mhz); err != nil {
+					t.Errorf("rank %d: %v", i, err)
+					return
+				}
+				if _, err := setters[i].SetSMClock(-1); err == nil {
+					t.Errorf("rank %d: negative MHz accepted", i)
+					return
+				}
+				if _, err := setters[i].SetSMClock(5000); err == nil {
+					t.Errorf("rank %d: out-of-policy MHz accepted", i)
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			agent.Audit()
+		}
+	}()
+	wg.Wait()
+	<-done
+	audit := agent.Audit()
+	if len(audit) != ranks*50*3 {
+		t.Fatalf("audit entries = %d, want %d", len(audit), ranks*50*3)
+	}
+	denied := 0
+	for _, e := range audit {
+		if e.Err != "" {
+			denied++
+		}
+	}
+	if denied != ranks*50*2 {
+		t.Fatalf("denied = %d, want %d", denied, ranks*50*2)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"sphenergy/internal/attrib"
+	"sphenergy/internal/faults"
 )
 
 // FunctionStats accumulates measurements for one instrumented function on
@@ -227,6 +228,9 @@ type Report struct {
 	// Validation carries the cross-source energy check (model reference vs
 	// sampled sensors vs pm_counters vs Slurm accounting) when one was run.
 	Validation *attrib.Validation `json:"validation,omitempty"`
+	// Faults carries the fault-injection/resilience summary when the run
+	// executed under a fault plan.
+	Faults *faults.Report `json:"faults,omitempty"`
 }
 
 // EDP returns the energy-delay product of the run in J·s.

@@ -108,14 +108,45 @@ type SpanRecorder interface {
 	RecordSpan(rank int, category, name string, startS, durS float64)
 }
 
+// RankFault describes one injected rank misbehaviour for a phase, the
+// local hook shape that keeps mpisim free of a faults dependency (the
+// same pattern the sensor back-ends use).
+type RankFault struct {
+	// SlowFactor > 1 stretches the rank's phase duration (a straggler:
+	// thermal throttling, a congested NIC, a noisy neighbour).
+	SlowFactor float64
+	// Crash kills the rank at the end of the phase; it stops executing
+	// and stops participating in barriers.
+	Crash bool
+}
+
+// RankFaultHook is consulted once per alive rank per Execute phase with
+// the rank's virtual clock at phase end.
+type RankFaultHook func(rank int, nowS float64) RankFault
+
+// StragglerObserver is notified when injection stretches a rank's phase
+// by extra seconds, so callers can keep co-simulated clocks (the rank's
+// GPU) aligned with the rank clock.
+type StragglerObserver func(rank int, extraS float64)
+
+// RankFailure records one rank death.
+type RankFailure struct {
+	Rank  int     `json:"rank"`
+	TimeS float64 `json:"time_s"`
+}
+
 // World is a set of ranks executing in lockstep phases.
 type World struct {
 	Size    int
 	Network Network
 
 	clocks   []float64 // virtual time per rank
+	alive    []bool
+	failures []RankFailure
 	jitter   []*rng.Rand
 	recorder SpanRecorder
+	fhook    RankFaultHook
+	stragObs StragglerObserver
 	mu       sync.Mutex
 
 	workers sync.Once
@@ -134,6 +165,10 @@ type workItem struct {
 func NewWorld(size int, net Network, seed uint64) *World {
 	w := &World{Size: size, Network: net}
 	w.clocks = make([]float64, size)
+	w.alive = make([]bool, size)
+	for i := range w.alive {
+		w.alive[i] = true
+	}
 	root := rng.New(seed)
 	for i := 0; i < size; i++ {
 		w.jitter = append(w.jitter, root.Split())
@@ -148,10 +183,69 @@ func (w *World) Clock(r int) float64 {
 	return w.clocks[r]
 }
 
-// Advance moves rank r's clock forward by dt seconds.
+// Advance moves rank r's clock forward by dt seconds. Dead ranks do not
+// advance.
 func (w *World) Advance(r int, dt float64) {
 	w.mu.Lock()
-	w.clocks[r] += dt
+	if w.alive[r] {
+		w.clocks[r] += dt
+	}
+	w.mu.Unlock()
+}
+
+// Alive reports whether rank r is still executing.
+func (w *World) Alive(r int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive[r]
+}
+
+// AliveCount returns the number of surviving ranks.
+func (w *World) AliveCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, a := range w.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Fail kills rank r at virtual time atS: it stops executing phases and
+// stops participating in barriers; its clock freezes. Killing a dead
+// rank is a no-op.
+func (w *World) Fail(r int, atS float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.alive[r] {
+		return
+	}
+	w.alive[r] = false
+	w.failures = append(w.failures, RankFailure{Rank: r, TimeS: atS})
+}
+
+// Failures returns the rank deaths so far, in order of occurrence.
+func (w *World) Failures() []RankFailure {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]RankFailure, len(w.failures))
+	copy(out, w.failures)
+	return out
+}
+
+// SetRankFaultHook installs the per-phase fault hook; nil removes it.
+func (w *World) SetRankFaultHook(h RankFaultHook) {
+	w.mu.Lock()
+	w.fhook = h
+	w.mu.Unlock()
+}
+
+// SetStragglerObserver installs the straggler observer; nil removes it.
+func (w *World) SetStragglerObserver(o StragglerObserver) {
+	w.mu.Lock()
+	w.stragObs = o
 	w.mu.Unlock()
 }
 
@@ -164,8 +258,11 @@ func (w *World) Jitter(r int, spread float64) float64 {
 }
 
 // Execute runs fn(rank) concurrently on all ranks and returns each rank's
-// reported duration. It does not touch the virtual clocks; callers combine
-// the durations with Synchronize.
+// reported duration. Dead ranks are skipped (duration 0, fn not called).
+// With a fault hook installed, each rank's result passes through it:
+// stragglers stretch the duration (notifying the observer), crashes kill
+// the rank at phase end. It does not touch the virtual clocks; callers
+// combine the durations with Synchronize.
 //
 // Ranks run on persistent worker goroutines (one per rank, started on first
 // use), mirroring how MPI ranks are long-lived processes. Reusing workers
@@ -193,11 +290,39 @@ func (w *World) startWorkers() {
 		w.work[r] = ch
 		go func(r int, ch chan workItem) {
 			for it := range ch {
-				it.durs[r] = it.fn(r)
+				it.durs[r] = w.phase(r, it.fn)
 				it.wg.Done()
 			}
 		}(r, ch)
 	}
+}
+
+// phase runs one rank's share of an Execute call, applying injected rank
+// faults. It runs on the rank's own worker goroutine, so straggler
+// observers may safely touch rank-owned state (its GPU device).
+func (w *World) phase(r int, fn func(rank int) float64) float64 {
+	w.mu.Lock()
+	alive, hook, obs := w.alive[r], w.fhook, w.stragObs
+	w.mu.Unlock()
+	if !alive {
+		return 0
+	}
+	dur := fn(r)
+	if hook == nil {
+		return dur
+	}
+	f := hook(r, w.Clock(r)+dur)
+	if f.SlowFactor > 1 {
+		extra := dur * (f.SlowFactor - 1)
+		dur += extra
+		if obs != nil {
+			obs(r, extra)
+		}
+	}
+	if f.Crash {
+		w.Fail(r, w.Clock(r)+dur)
+	}
+	return dur
 }
 
 // Close stops the rank workers. The world must not Execute afterwards;
@@ -226,13 +351,19 @@ func (w *World) Synchronize(durs []float64) []float64 {
 	w.mu.Lock()
 	maxT := 0.0
 	for r, d := range durs {
+		// A rank that died this phase still banks its duration (it did
+		// the work before dying) but no longer pulls the barrier, and
+		// dead ranks are not aligned — their clocks stay frozen.
 		w.clocks[r] += d
-		if w.clocks[r] > maxT {
+		if w.alive[r] && w.clocks[r] > maxT {
 			maxT = w.clocks[r]
 		}
 	}
 	waits := make([]float64, w.Size)
 	for r := range w.clocks {
+		if !w.alive[r] {
+			continue
+		}
 		waits[r] = maxT - w.clocks[r]
 		w.clocks[r] = maxT
 	}

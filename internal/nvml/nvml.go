@@ -26,16 +26,30 @@ var (
 	ErrNotSupported = errors.New("nvml: not supported")
 )
 
+// FaultHook intercepts management-library operations for fault injection.
+// op names the operation ("energy-read", "clock-set", "power-read"), arg
+// carries the operation's integer argument where one exists (the requested
+// SM MHz for clock-set). The hook may pass the call through (arg, nil),
+// rewrite the argument (a clamped clock), or fail it. Production paths
+// leave the hook nil.
+type FaultHook func(op string, arg int) (int, error)
+
 // Device is an opaque device handle (nvmlDevice_t).
 type Device struct {
-	d *gpusim.Device
+	d   *gpusim.Device
+	lib *Library
 }
 
 // Library is one NVML context over a node's Nvidia devices.
 type Library struct {
 	devices     []*gpusim.Device
 	initialized bool
+	hook        FaultHook
 }
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+// Handles resolved before or after the call observe the new hook.
+func (l *Library) SetFaultHook(h FaultHook) { l.hook = h }
 
 // New creates a library over the given devices. Non-Nvidia devices are
 // rejected: the caller should hand AMD devices to the rsmi package instead.
@@ -77,7 +91,25 @@ func (l *Library) DeviceGetHandleByIndex(index int) (Device, error) {
 	if index < 0 || index >= len(l.devices) {
 		return Device{}, fmt.Errorf("%w: device index %d", ErrInvalidArgument, index)
 	}
-	return Device{d: l.devices[index]}, nil
+	return Device{d: l.devices[index], lib: l}, nil
+}
+
+// SetFaultHook installs the hook on the handle's library — convenience for
+// callers that hold only a Device (e.g. freqctl setters built by
+// SetterFor, whose library is internal). No-op on zero-value handles.
+func (dev Device) SetFaultHook(h FaultHook) {
+	if dev.lib != nil {
+		dev.lib.SetFaultHook(h)
+	}
+}
+
+// fault consults the library hook; zero-value handles (no library) and
+// hookless libraries pass everything through.
+func (dev Device) fault(op string, arg int) (int, error) {
+	if dev.lib == nil || dev.lib.hook == nil {
+		return arg, nil
+	}
+	return dev.lib.hook(op, arg)
 }
 
 // Name returns the product name (nvmlDeviceGetName).
@@ -88,6 +120,10 @@ func (dev Device) Name() string { return dev.d.Spec().Name }
 // supported SM clock without requiring root, emulating the user-level
 // control path the paper establishes. Returns the applied SM clock.
 func (dev Device) SetApplicationsClocks(memMHz, smMHz int) (int, error) {
+	smMHz, err := dev.fault("clock-set", smMHz)
+	if err != nil {
+		return 0, err
+	}
 	applied, err := dev.d.SetApplicationClocks(memMHz, smMHz)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrNotSupported, err)
@@ -124,12 +160,18 @@ func (dev Device) SupportedGraphicsClocks() []int {
 // PowerUsage returns the current board draw in milliwatts
 // (nvmlDeviceGetPowerUsage).
 func (dev Device) PowerUsage() (int, error) {
+	if _, err := dev.fault("power-read", 0); err != nil {
+		return 0, err
+	}
 	return int(dev.d.PowerW() * 1000), nil
 }
 
 // TotalEnergyConsumption returns cumulative energy in millijoules
 // (nvmlDeviceGetTotalEnergyConsumption).
 func (dev Device) TotalEnergyConsumption() (int64, error) {
+	if _, err := dev.fault("energy-read", 0); err != nil {
+		return 0, err
+	}
 	return int64(dev.d.EnergyJ() * 1000), nil
 }
 

@@ -14,9 +14,12 @@
 package pmt
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"sphenergy/internal/cluster"
+	"sphenergy/internal/faults"
 	"sphenergy/internal/gpusim"
 	"sphenergy/internal/nvml"
 	"sphenergy/internal/pmcounters"
@@ -66,6 +69,20 @@ type Sensor interface {
 	Read() State
 }
 
+// Read() has no error return — exactly like the real toolkit — so
+// back-end failures must be encoded in the State itself. The hardware
+// sensors below do it uniformly via degrade: a stuck back-end replays the
+// last good state (reader sees a frozen sample, the sampler's stuck
+// detector catches the repetition), any other failure yields a NaN energy
+// at the current timestamp (the sampler discards and counts it). A healthy
+// read refreshes the cache.
+func degrade(err error, now float64, last *State, started *bool) State {
+	if errors.Is(err, faults.ErrStuck) && *started {
+		return *last
+	}
+	return State{TimeS: now, EnergyJ: math.NaN()}
+}
+
 // backender is implemented by sensors that know their back-end; BackendOf
 // falls back to BackendDummy for anything else.
 type backender interface {
@@ -83,7 +100,9 @@ func BackendOf(s Sensor) Backend {
 
 // nvmlSensor measures one Nvidia device through the NVML energy counter.
 type nvmlSensor struct {
-	dev nvml.Device
+	dev     nvml.Device
+	last    State
+	started bool
 }
 
 // NewNVML creates a GPU sensor over an NVML device handle.
@@ -95,15 +114,23 @@ func (s *nvmlSensor) Name() string { return fmt.Sprintf("nvml:%s", s.dev.Name())
 func (s *nvmlSensor) Backend() Backend { return BackendNVML }
 
 func (s *nvmlSensor) Read() State {
-	mj, _ := s.dev.TotalEnergyConsumption()
-	return State{TimeS: s.dev.Sim().Now(), EnergyJ: float64(mj) / 1000}
+	now := s.dev.Sim().Now()
+	mj, err := s.dev.TotalEnergyConsumption()
+	if err != nil {
+		return degrade(err, now, &s.last, &s.started)
+	}
+	s.last = State{TimeS: now, EnergyJ: float64(mj) / 1000}
+	s.started = true
+	return s.last
 }
 
 // rsmiSensor measures one AMD device through the ROCm-SMI energy counter.
 type rsmiSensor struct {
-	lib *rsmi.Library
-	idx int
-	dev *gpusim.Device
+	lib     *rsmi.Library
+	idx     int
+	dev     *gpusim.Device
+	last    State
+	started bool
 }
 
 // NewRSMI creates a GPU sensor over a rocm-smi device index. The underlying
@@ -118,16 +145,23 @@ func (s *rsmiSensor) Name() string { return fmt.Sprintf("rocm:%d", s.idx) }
 func (s *rsmiSensor) Backend() Backend { return BackendRSMI }
 
 func (s *rsmiSensor) Read() State {
-	uj, _ := s.lib.DevEnergyCountGet(s.idx)
-	return State{TimeS: s.dev.Now(), EnergyJ: float64(uj) / 1e6}
+	now := s.dev.Now()
+	uj, err := s.lib.DevEnergyCountGet(s.idx)
+	if err != nil {
+		return degrade(err, now, &s.last, &s.started)
+	}
+	s.last = State{TimeS: now, EnergyJ: float64(uj) / 1e6}
+	s.started = true
+	return s.last
 }
 
 // raplSensor measures one CPU package through the RAPL counter.
 type raplSensor struct {
-	reader *rapl.Reader
-	cpu    *cluster.CPU
-	pkg    int
-	baseJ  float64
+	reader  *rapl.Reader
+	cpu     *cluster.CPU
+	pkg     int
+	last    State
+	started bool
 }
 
 // NewRAPL creates a CPU sensor over a RAPL reader; cpu provides the virtual
@@ -142,8 +176,14 @@ func (s *raplSensor) Name() string { return fmt.Sprintf("rapl:pkg%d", s.pkg) }
 func (s *raplSensor) Backend() Backend { return BackendRAPL }
 
 func (s *raplSensor) Read() State {
-	j, _ := s.reader.Poll()
-	return State{TimeS: s.cpu.Meter.NowS(), EnergyJ: j}
+	now := s.cpu.Meter.NowS()
+	j, err := s.reader.Poll()
+	if err != nil {
+		return degrade(err, now, &s.last, &s.started)
+	}
+	s.last = State{TimeS: now, EnergyJ: j}
+	s.started = true
+	return s.last
 }
 
 // CrayComponent selects which pm_counters file a Cray sensor reads.
@@ -168,7 +208,14 @@ type craySensor struct {
 // NewCray creates a sensor over a node's pm_counters view. card selects the
 // accelerator card for CrayAccel and is ignored otherwise.
 func NewCray(node *cluster.Node, component CrayComponent, card int) Sensor {
-	return &craySensor{pc: pmcounters.New(node), component: component, card: card, node: node}
+	return NewCrayOn(pmcounters.New(node), node, component, card)
+}
+
+// NewCrayOn creates a sensor over an existing pm_counters view, so callers
+// that need to install a fault hook (or share one Counters instance across
+// components) can construct the view themselves.
+func NewCrayOn(pc *pmcounters.Counters, node *cluster.Node, component CrayComponent, card int) Sensor {
+	return &craySensor{pc: pc, component: component, card: card, node: node}
 }
 
 // Backend implements the back-end probe used by BackendOf.

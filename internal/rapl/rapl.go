@@ -24,11 +24,20 @@ type Source interface {
 // ErrNoSuchPackage is returned for out-of-range package ids.
 var ErrNoSuchPackage = errors.New("rapl: no such package")
 
+// FaultHook intercepts MSR reads for fault injection, sharing the shape of
+// nvml.FaultHook ("energy-read" with the package id as arg). Production
+// paths leave the hook nil.
+type FaultHook func(op string, arg int) (int, error)
+
 // Interface is a simulated RAPL MSR interface over one node's CPU packages.
 type Interface struct {
 	packages []Source
 	unitJ    float64
+	hook     FaultHook
 }
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (r *Interface) SetFaultHook(h FaultHook) { r.hook = h }
 
 // New creates a RAPL interface with the default energy unit.
 func New(packages ...Source) *Interface {
@@ -46,6 +55,11 @@ func (r *Interface) EnergyUnit() float64 { return r.unitJ }
 func (r *Interface) ReadEnergyStatus(pkg int) (uint32, error) {
 	if pkg < 0 || pkg >= len(r.packages) {
 		return 0, ErrNoSuchPackage
+	}
+	if r.hook != nil {
+		if _, err := r.hook("energy-read", pkg); err != nil {
+			return 0, err
+		}
 	}
 	counts := uint64(r.packages[pkg].EnergyJ() / r.unitJ)
 	return uint32(counts & (1<<counterBits - 1)), nil

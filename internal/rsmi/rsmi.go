@@ -20,9 +20,26 @@ var (
 	ErrNotSupported = errors.New("rsmi: not supported")
 )
 
+// FaultHook intercepts management-library operations for fault injection,
+// mirroring nvml.FaultHook: op names the operation ("energy-read",
+// "clock-set", "power-read"), arg carries the requested SM MHz for
+// clock-set. Production paths leave the hook nil.
+type FaultHook func(op string, arg int) (int, error)
+
 // Library is one rocm-smi context over a node's AMD devices (GCDs).
 type Library struct {
 	devices []*gpusim.Device
+	hook    FaultHook
+}
+
+// SetFaultHook installs (or clears, with nil) the fault-injection hook.
+func (l *Library) SetFaultHook(h FaultHook) { l.hook = h }
+
+func (l *Library) fault(op string, arg int) (int, error) {
+	if l.hook == nil {
+		return arg, nil
+	}
+	return l.hook(op, arg)
 }
 
 // New creates a library over AMD devices; non-AMD devices are rejected.
@@ -75,7 +92,22 @@ func (l *Library) DevGPUClkFreqSet(i, index int) (int, error) {
 	if index < 0 || index >= len(table) {
 		return 0, fmt.Errorf("%w: frequency index %d", ErrInvalidArgs, index)
 	}
-	return d.SetApplicationClocks(0, table[index])
+	mhz, err := l.fault("clock-set", table[index])
+	if err != nil {
+		return 0, err
+	}
+	if mhz != table[index] {
+		// The hook clamped the request; honor the nearest table entry, the
+		// same snap the platform firmware applies.
+		best, bestDiff := table[0], abs(table[0]-mhz)
+		for _, f := range table[1:] {
+			if diff := abs(f - mhz); diff < bestDiff {
+				best, bestDiff = f, diff
+			}
+		}
+		mhz = best
+	}
+	return d.SetApplicationClocks(0, mhz)
 }
 
 // DevPerfLevelSetAuto restores automatic (governor) clock management
@@ -96,6 +128,9 @@ func (l *Library) DevPowerAveGet(i int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if _, err := l.fault("power-read", 0); err != nil {
+		return 0, err
+	}
 	return int64(d.PowerW() * 1e6), nil
 }
 
@@ -104,6 +139,9 @@ func (l *Library) DevPowerAveGet(i int) (int64, error) {
 func (l *Library) DevEnergyCountGet(i int) (uint64, error) {
 	d, err := l.dev(i)
 	if err != nil {
+		return 0, err
+	}
+	if _, err := l.fault("energy-read", 0); err != nil {
 		return 0, err
 	}
 	return uint64(d.EnergyJ() * 1e6), nil

@@ -20,6 +20,21 @@
 // running sum is Kahan-compensated), and track per-sensor staleness and
 // jitter statistics. BindMetrics mirrors every channel into a telemetry
 // registry as live power gauges and cumulative energy counters.
+//
+// # Degradation and failover
+//
+// Real sensors flake: reads fail transiently (surfacing here as NaN
+// energy, see pmt), and counters go stale while time marches on (the
+// pm_counters staleness of Simsek et al. §IV). Channels detect both —
+// NaN reads are discarded and counted, and Config.StuckPolls consecutive
+// reads with frozen energy mark the channel stuck — and degrade instead
+// of corrupting the series: ticks covering the outage are estimated from
+// a secondary sensor (SetSecondary) or from the last observed power, and
+// carry Sample.Degraded so downstream attribution can exclude them from
+// validation gates rather than silently trusting them. Estimates are
+// kept on the primary counter's cumulative scale, so when the primary
+// recovers, real energy reconciles against the estimate through the
+// existing negative-delta clamp and nothing is double-counted.
 package sampler
 
 import (
@@ -54,7 +69,18 @@ type Config struct {
 	NodeHz float64
 	// RingCap bounds each channel's sample buffer (DefaultRingCap when 0).
 	RingCap int
+	// StuckPolls is how many consecutive frozen-energy reads mark a
+	// channel stuck (DefaultStuckPolls when 0). A read is "frozen" when
+	// energy is bit-identical to the previous read and either no time
+	// passed or at least a full sampling period did — sub-period
+	// quantization (a 10 Hz pm_counters file re-read within one collection
+	// window) is expected, not suspicious.
+	StuckPolls int
 }
+
+// DefaultStuckPolls is the stuck-detector threshold: short natural
+// repetition (double polls at phase boundaries) stays below it.
+const DefaultStuckPolls = 3
 
 // Enabled reports whether any sampling rate is configured.
 func (c Config) Enabled() bool { return c.GPUHz > 0 || c.NodeHz > 0 }
@@ -72,6 +98,9 @@ func (c Config) Defaulted() Config {
 	}
 	if c.RingCap <= 0 {
 		c.RingCap = DefaultRingCap
+	}
+	if c.StuckPolls <= 0 {
+		c.StuckPolls = DefaultStuckPolls
 	}
 	return c
 }
@@ -95,6 +124,10 @@ type Sample struct {
 	EnergyJ float64
 	// PowerW is the mean power over the tick interval ending at TimeS.
 	PowerW float64
+	// Degraded marks ticks whose energy is estimated (secondary source or
+	// power model) rather than observed, plus the first recovered window:
+	// downstream validation must not hold these to the observed-data gate.
+	Degraded bool
 }
 
 // Stats summarizes a channel's sampling behaviour.
@@ -116,6 +149,16 @@ type Stats struct {
 	AccumJ float64
 	// LastTimeS is the sensor time of the most recent poll.
 	LastTimeS float64
+	// FaultReads counts discarded NaN reads (transient sensor failures).
+	FaultReads uint64
+	// StuckEvents counts transitions into the stuck state.
+	StuckEvents uint64
+	// Failovers counts polls served by the secondary sensor.
+	Failovers uint64
+	// DegradedTicks counts emitted samples flagged Degraded.
+	DegradedTicks uint64
+	// Degraded reports whether the channel is currently degraded.
+	Degraded bool
 }
 
 // Channel samples one sensor on a fixed tick grid. A nil *Channel is a
@@ -123,10 +166,11 @@ type Stats struct {
 type Channel struct {
 	mu sync.Mutex
 
-	name    string
-	rank    int
-	sensor  pmt.Sensor
-	periodS float64
+	name      string
+	rank      int
+	sensor    pmt.Sensor
+	secondary pmt.Sensor // optional failover source
+	periodS   float64
 
 	// ring buffer
 	buf     []Sample
@@ -134,7 +178,10 @@ type Channel struct {
 	cap     int
 	dropped uint64
 
-	// accumulation state
+	// accumulation state. last is the effective anchor for interpolation,
+	// always on the primary counter's cumulative-energy scale — during a
+	// degraded stretch it advances by estimated energy, and the primary's
+	// next good read reconciles against it via the negative-delta clamp.
 	started  bool
 	last     pmt.State
 	accumJ   float64
@@ -142,18 +189,33 @@ type Channel struct {
 	tick     int64   // next tick index; tick time = tick * periodS
 	lastTick Sample  // most recent emitted sample
 
+	// degradation state
+	stuckPolls   int       // frozen-read threshold (from Config)
+	lastRaw      pmt.State // previous non-NaN primary read, for stuck detection
+	rawStarted   bool
+	stuckRun     int  // consecutive frozen reads
+	stuck        bool // currently latched stuck
+	prevDegraded bool // previous poll was degraded (flags the recovery window)
+	secLast      pmt.State
+	secStarted   bool
+
 	// stats
-	polls     uint64
-	ticks     uint64
-	maxGapS   float64
-	gapSumS   float64
-	gapSumSqS float64
+	polls         uint64
+	ticks         uint64
+	maxGapS       float64
+	gapSumS       float64
+	gapSumSqS     float64
+	faultReads    uint64
+	stuckEvents   uint64
+	failovers     uint64
+	degradedTicks uint64
 
 	// bound metrics (nil when unbound)
-	mPower  *telemetry.Gauge
-	mEnergy *telemetry.Counter
-	mTicks  *telemetry.Counter
-	mDrops  *telemetry.Counter
+	mPower    *telemetry.Gauge
+	mEnergy   *telemetry.Counter
+	mTicks    *telemetry.Counter
+	mDrops    *telemetry.Counter
+	mDegraded *telemetry.Counter
 }
 
 // Name returns the channel's sensor label.
@@ -180,10 +242,85 @@ func (c *Channel) RateHz() float64 {
 	return 1 / c.periodS
 }
 
+// SetSecondary installs a failover sensor consulted while the primary is
+// degraded (e.g. the node's pm_counters accel file backing up NVML). Call
+// before the first Poll.
+func (c *Channel) SetSecondary(s pmt.Sensor) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.secondary = s
+	c.mu.Unlock()
+}
+
+// classify updates the degradation detectors with a fresh primary read and
+// reports whether this poll is degraded; caller holds c.mu.
+func (c *Channel) classify(st pmt.State) bool {
+	if math.IsNaN(st.EnergyJ) || math.IsNaN(st.TimeS) {
+		c.faultReads++
+		return true
+	}
+	// Frozen read: energy bit-identical to the previous read while either
+	// no time passed (a stuck sensor replaying its cache) or at least one
+	// full period did (a stalled collection loop). Energy repetition
+	// within a fraction of a period is ordinary quantization.
+	frozen := c.rawStarted && st.EnergyJ == c.lastRaw.EnergyJ &&
+		(st.TimeS == c.lastRaw.TimeS || st.TimeS-c.lastRaw.TimeS >= c.periodS*(1-1e-9))
+	if frozen {
+		c.stuckRun++
+	} else if !c.rawStarted || st.EnergyJ != c.lastRaw.EnergyJ {
+		c.stuckRun = 0
+		c.stuck = false
+	}
+	c.lastRaw = st
+	c.rawStarted = true
+	threshold := c.stuckPolls
+	if threshold <= 0 {
+		threshold = DefaultStuckPolls
+	}
+	if c.stuckRun >= threshold && !c.stuck {
+		c.stuck = true
+		c.stuckEvents++
+	}
+	return c.stuck
+}
+
+// estimate substitutes a degraded primary read with an effective state on
+// the primary's cumulative-energy scale: the secondary sensor's energy
+// delta when one is configured and answering, otherwise an extrapolation
+// of the last observed tick power; caller holds c.mu.
+func (c *Channel) estimate(raw pmt.State) pmt.State {
+	if c.secondary != nil {
+		sec := c.secondary.Read()
+		if !math.IsNaN(sec.EnergyJ) && !math.IsNaN(sec.TimeS) {
+			c.failovers++
+			if !c.secStarted {
+				c.secStarted = true
+				c.secLast = sec
+				return pmt.State{TimeS: sec.TimeS, EnergyJ: c.last.EnergyJ}
+			}
+			d := sec.EnergyJ - c.secLast.EnergyJ
+			if d < 0 {
+				d = 0
+			}
+			c.secLast = sec
+			return pmt.State{TimeS: sec.TimeS, EnergyJ: c.last.EnergyJ + d}
+		}
+	}
+	now := raw.TimeS
+	if math.IsNaN(now) || now < c.last.TimeS {
+		now = c.last.TimeS
+	}
+	return pmt.State{TimeS: now, EnergyJ: c.last.EnergyJ + c.lastTick.PowerW*(now-c.last.TimeS)}
+}
+
 // Poll reads the sensor and emits every tick sample due since the previous
 // poll, interpolating cumulative energy between the two reads. The first
-// poll establishes the energy baseline. Safe to call from the goroutine
-// driving the sensor's device; distinct channels never share state.
+// poll establishes the energy baseline. Degraded reads (NaN, stuck) are
+// replaced by estimates and the covered ticks flagged — see the package
+// comment. Safe to call from the goroutine driving the sensor's device;
+// distinct channels never share state.
 func (c *Channel) Poll() {
 	if c == nil {
 		return
@@ -191,7 +328,14 @@ func (c *Channel) Poll() {
 	st := c.sensor.Read()
 	c.mu.Lock()
 	c.polls++
+	degraded := c.classify(st)
 	if !c.started {
+		if degraded {
+			// No baseline to anchor an estimate to yet; wait for the
+			// first good read.
+			c.mu.Unlock()
+			return
+		}
 		c.started = true
 		c.last = st
 		// First tick at the first grid point at or after the baseline.
@@ -200,6 +344,13 @@ func (c *Channel) Poll() {
 		c.mu.Unlock()
 		return
 	}
+	if degraded {
+		st = c.estimate(st)
+	}
+	// The first good poll after an outage also carries the flag: its ticks
+	// span the unobserved window.
+	flag := degraded || c.prevDegraded
+	c.prevDegraded = degraded
 	gap := st.TimeS - c.last.TimeS
 	if gap < 0 {
 		// Sensor time went backwards (should not happen); resynchronize.
@@ -223,6 +374,7 @@ func (c *Channel) Poll() {
 	// Emit every tick in (last.TimeS, st.TimeS].
 	startAccum := c.accumJ
 	ticksBefore, dropsBefore := c.ticks, c.dropped
+	degradedBefore := c.degradedTicks
 	for {
 		tickT := float64(c.tick) * c.periodS
 		if tickT > st.TimeS+1e-12 {
@@ -242,7 +394,10 @@ func (c *Channel) Poll() {
 		if dt := tickT - c.lastTick.TimeS; dt > 0 {
 			p = (e - c.lastTick.EnergyJ) / dt
 		}
-		s := Sample{TimeS: tickT, EnergyJ: e, PowerW: p}
+		s := Sample{TimeS: tickT, EnergyJ: e, PowerW: p, Degraded: flag}
+		if flag {
+			c.degradedTicks++
+		}
 		c.push(s)
 		c.lastTick = s
 		c.ticks++
@@ -250,12 +405,13 @@ func (c *Channel) Poll() {
 	}
 	c.kahanAdd(deltaJ)
 	c.last = st
-	mPower, mEnergy, mTicks, mDrops := c.mPower, c.mEnergy, c.mTicks, c.mDrops
+	mPower, mEnergy, mTicks, mDrops, mDegraded := c.mPower, c.mEnergy, c.mTicks, c.mDrops, c.mDegraded
 	meanW := 0.0
 	if gap > 0 {
 		meanW = deltaJ / gap
 	}
 	newTicks, newDrops := c.ticks-ticksBefore, c.dropped-dropsBefore
+	newDegraded := c.degradedTicks - degradedBefore
 	c.mu.Unlock()
 
 	// Metric updates run outside the channel lock; gauges/counters are
@@ -266,6 +422,7 @@ func (c *Channel) Poll() {
 	mEnergy.Add(deltaJ)
 	mTicks.Add(float64(newTicks))
 	mDrops.Add(float64(newDrops))
+	mDegraded.Add(float64(newDegraded))
 }
 
 // kahanAdd accumulates deltaJ into accumJ with Kahan compensation, keeping
@@ -320,15 +477,20 @@ func (c *Channel) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Name:        c.name,
-		Rank:        c.rank,
-		RateHz:      1 / c.periodS,
-		Polls:       c.polls,
-		Ticks:       c.ticks,
-		Dropped:     c.dropped,
-		MaxPollGapS: c.maxGapS,
-		AccumJ:      c.accumJ,
-		LastTimeS:   c.last.TimeS,
+		Name:          c.name,
+		Rank:          c.rank,
+		RateHz:        1 / c.periodS,
+		Polls:         c.polls,
+		Ticks:         c.ticks,
+		Dropped:       c.dropped,
+		MaxPollGapS:   c.maxGapS,
+		AccumJ:        c.accumJ,
+		LastTimeS:     c.last.TimeS,
+		FaultReads:    c.faultReads,
+		StuckEvents:   c.stuckEvents,
+		Failovers:     c.failovers,
+		DegradedTicks: c.degradedTicks,
+		Degraded:      c.stuck || c.prevDegraded,
 	}
 	if n := float64(c.polls - 1); n > 1 {
 		mean := c.gapSumS / n
@@ -355,6 +517,8 @@ func (c *Channel) bind(reg *telemetry.Registry) {
 		"fixed-rate samples emitted per sensor", labels...)
 	c.mDrops = reg.Counter("sampler_dropped_total",
 		"samples rotated out of the bounded ring per sensor", labels...)
+	c.mDegraded = reg.Counter("sampler_degraded_ticks_total",
+		"samples estimated under sensor degradation per sensor", labels...)
 	c.mu.Unlock()
 }
 
@@ -393,11 +557,12 @@ func (s *Sampler) Add(name string, rank int, sensor pmt.Sensor, hz float64) *Cha
 		hz = DefaultNodeHz
 	}
 	ch := &Channel{
-		name:    name,
-		rank:    rank,
-		sensor:  sensor,
-		periodS: 1 / hz,
-		cap:     s.cfg.RingCap,
+		name:       name,
+		rank:       rank,
+		sensor:     sensor,
+		periodS:    1 / hz,
+		cap:        s.cfg.RingCap,
+		stuckPolls: s.cfg.StuckPolls,
 	}
 	s.mu.Lock()
 	s.channels = append(s.channels, ch)
@@ -506,6 +671,18 @@ func (s *Sampler) RankAccumJ() float64 {
 		}
 	}
 	return total
+}
+
+// Degraded reports whether any channel saw sensor degradation during the
+// run (failed reads, stuck stretches, or estimated ticks).
+func (s *Sampler) Degraded() bool {
+	for _, ch := range s.Channels() {
+		st := ch.Stats()
+		if st.Degraded || st.DegradedTicks > 0 || st.FaultReads > 0 || st.StuckEvents > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats returns per-channel statistics in registration order.

@@ -395,9 +395,9 @@ type SampleSnapshot struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value"`
 	// Histogram-only fields.
-	Sum     float64            `json:"sum,omitempty"`
-	Count   uint64             `json:"count,omitempty"`
-	Buckets map[string]uint64  `json:"buckets,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
 
 // MetricSnapshot is one family in a JSON metrics snapshot.
