@@ -84,11 +84,17 @@ bench-sph:
 	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -out BENCH_sph.json
 
 # Fast correctness/liveness gate for `check`: a tiny sphbench run (exercises
-# both pipelines end to end), the walk-vs-list equivalence tests, and a
-# one-shot pass over the SPH micro-benchmarks.
+# all three pipelines end to end — the multi-step run gives the Verlet skin
+# real refresh steps), the walk-vs-list and skin-vs-rebuild equivalence
+# tests plus the skin edge cases (drift threshold, overflow fallback,
+# mid-interval restart, bit-identical opt-out), the zero-allocation
+# regression on the reusable grid build, and a one-shot pass over the SPH
+# micro-benchmarks.
 bench-sph-smoke:
 	$(GO) run ./cmd/sphbench -sizes 8 -steps 1 -warmup 1 -out /dev/null
-	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline' -count=1 ./internal/sph/
+	$(GO) run ./cmd/sphbench -sizes 10 -steps 4 -warmup 1 -out /dev/null
+	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline|Skin' -count=1 ./internal/sph/
+	$(GO) test -run 'ZeroSteadyStateAllocs|QueryZeroAllocs|IntoMatchesBuildGrid' -count=1 ./internal/neighbors/
 	$(GO) test -run xxx -bench 'SPHStep$$' -benchtime 1x ./...
 
 # Regenerate every table/figure at the paper's step counts.

@@ -5,7 +5,7 @@
 //
 //	experiments -list
 //	experiments -run fig7
-//	experiments -run all -scale 0.2
+//	experiments -run all -scale 0.2 -j 4
 package main
 
 import (
@@ -13,15 +13,70 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"sphenergy/internal/experiments"
 )
+
+// outcome carries one experiment's rendered output (or its failure) from a
+// worker to the in-order emitter.
+type outcome struct {
+	out string
+	err error
+}
+
+// runExperiments executes run for every name on a bounded worker pool and
+// calls emit with the results strictly in the order of names, regardless of
+// which worker finishes first. The first failure — from a run or from emit —
+// stops new work from being launched and is returned; in-flight workers are
+// left to drain. workers is clamped to [1, len(names)].
+func runExperiments(names []string, workers int, run func(name string) (string, error), emit func(name, out string) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	results := make([]chan outcome, len(names))
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+	done := make(chan struct{})
+	sem := make(chan struct{}, workers)
+	go func() {
+		for i, name := range names {
+			select {
+			case <-done:
+				return
+			case sem <- struct{}{}:
+			}
+			go func(i int, name string) {
+				defer func() { <-sem }()
+				out, err := run(name)
+				results[i] <- outcome{out: out, err: err}
+			}(i, name)
+		}
+	}()
+	for i, name := range names {
+		oc := <-results[i]
+		if oc.err != nil {
+			close(done)
+			return fmt.Errorf("%s: %w", name, oc.err)
+		}
+		if err := emit(name, oc.out); err != nil {
+			close(done)
+			return err
+		}
+	}
+	return nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment id to run (table1, fig1..fig9, ext-*, all)")
 	scale := flag.Float64("scale", 1.0, "step-count scale factor (1.0 = the paper's 100 steps)")
 	outDir := flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max experiments to run concurrently")
 	flag.Parse()
 
 	if *list {
@@ -41,21 +96,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, name := range names {
-		res, err := experiments.Run(name, *scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		out := res.Render()
-		fmt.Println("=================================================================")
-		fmt.Println(out)
-		if *outDir != "" {
-			path := filepath.Join(*outDir, name+".txt")
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+	err := runExperiments(names, *jobs,
+		func(name string) (string, error) {
+			res, err := experiments.Run(name, *scale)
+			if err != nil {
+				return "", err
 			}
-		}
+			return res.Render(), nil
+		},
+		func(name, out string) error {
+			fmt.Println("=================================================================")
+			fmt.Println(out)
+			if *outDir != "" {
+				path := filepath.Join(*outDir, name+".txt")
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Output must come out in input order even when workers finish shuffled.
+func TestRunExperimentsPreservesOrder(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var mu sync.Mutex
+	started := map[string]chan struct{}{}
+	for _, n := range names {
+		started[n] = make(chan struct{})
+	}
+	run := func(name string) (string, error) {
+		mu.Lock()
+		ch := started[name]
+		mu.Unlock()
+		close(ch)
+		if name == "a" {
+			// Make the first experiment finish last: it only returns once
+			// the final experiment has been started, which requires the
+			// pool to actually run work concurrently.
+			<-started[names[len(names)-1]]
+		}
+		return "out:" + name, nil
+	}
+	var got []string
+	emit := func(name, out string) error {
+		if out != "out:"+name {
+			t.Errorf("emit(%q) got %q", name, out)
+		}
+		got = append(got, name)
+		return nil
+	}
+	if err := runExperiments(names, 4, run, emit); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(names, ",") {
+		t.Errorf("emitted order %v, want %v", got, names)
+	}
+}
+
+// A failing experiment must surface its error (wrapped with its name) and
+// stop further work from being launched.
+func TestRunExperimentsFirstErrorFatal(t *testing.T) {
+	boom := errors.New("boom")
+	var launchedAfter atomic.Int64
+	gate := make(chan struct{})
+	names := []string{"ok1", "bad", "late1", "late2", "late3", "late4", "late5", "late6"}
+	run := func(name string) (string, error) {
+		switch {
+		case name == "bad":
+			return "", boom
+		case strings.HasPrefix(name, "late"):
+			// Block so the single worker slot stays occupied: the launcher
+			// cannot start another late experiment before the consumer sees
+			// bad's error and stops launching. Released after the error
+			// returns.
+			launchedAfter.Add(1)
+			<-gate
+		}
+		return name, nil
+	}
+	err := runExperiments(names, 1, run, func(string, string) error { return nil })
+	close(gate)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error %q does not name the failing experiment", err)
+	}
+	// At most one late experiment can have been launched (the one holding
+	// the worker slot when the failure surfaced); a launcher that ignored
+	// the failure would have run all six.
+	if n := launchedAfter.Load(); n > 1 {
+		t.Errorf("launched %d experiments after the failure, want <= 1", n)
+	}
+}
+
+// An emit failure (e.g. -out write error) is fatal too.
+func TestRunExperimentsEmitErrorFatal(t *testing.T) {
+	werr := errors.New("disk full")
+	names := []string{"a", "b", "c"}
+	var emitted int
+	err := runExperiments(names, 2,
+		func(name string) (string, error) { return name, nil },
+		func(name, out string) error {
+			emitted++
+			if name == "b" {
+				return werr
+			}
+			return nil
+		})
+	if !errors.Is(err, werr) {
+		t.Fatalf("err = %v, want disk-full", err)
+	}
+	if emitted != 2 {
+		t.Errorf("emit called %d times, want 2 (a then failing b)", emitted)
+	}
+}
+
+func TestRunExperimentsClampsWorkers(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1, 100} {
+		var got []string
+		err := runExperiments([]string{"x", "y"}, workers,
+			func(name string) (string, error) { return name, nil },
+			func(name, out string) error { got = append(got, name); return nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if fmt.Sprint(got) != "[x y]" {
+			t.Errorf("workers=%d: got %v", workers, got)
+		}
+	}
+}

@@ -1,10 +1,11 @@
 // Command sphbench measures the real SPH compute layer pass by pass — the
 // per-function decomposition the paper attributes energy to — and writes
 // the results as machine-readable JSON for regression tracking. Each
-// problem size is run twice, once with the legacy closure-walk pipeline
-// and once with the persistent neighbor-list pipeline, so the file records
-// its own before/after comparison and future PRs diff against a stable
-// schema.
+// problem size is run three times: with the legacy closure-walk pipeline,
+// with the persistent neighbor list rebuilt every step, and with the
+// Verlet-skin list that amortizes rebuilds across steps — so the file
+// records its own before/after comparisons and future PRs diff against a
+// stable schema.
 //
 // Example:
 //
@@ -41,9 +42,20 @@ var passNames = []string{
 // modeResult is one pipeline variant's timing at one problem size.
 type modeResult struct {
 	// NsPerParticleStep maps each pass (plus "total") to nanoseconds per
-	// particle per step, averaged over the measured steps.
+	// particle per step, averaged over the measured steps. For the skin
+	// mode find_neighbors is the amortized cost across rebuild and refresh
+	// steps.
 	NsPerParticleStep map[string]float64 `json:"ns_per_particle_step"`
 	StepMs            float64            `json:"step_ms"`
+	// Skin-mode extras: how often the candidate list was rebuilt over the
+	// measured steps, the mean steps between rebuilds, and the
+	// find_neighbors cost split by step kind.
+	Skin                 float64 `json:"skin,omitempty"`
+	Rebuilds             int     `json:"rebuilds,omitempty"`
+	Refreshes            int     `json:"refreshes,omitempty"`
+	RebuildIntervalSteps float64 `json:"rebuild_interval_steps,omitempty"`
+	RebuildNsPerParticle float64 `json:"find_neighbors_rebuild_ns_per_particle,omitempty"`
+	RefreshNsPerParticle float64 `json:"find_neighbors_refresh_ns_per_particle,omitempty"`
 }
 
 // sizeResult is one problem size's before/after measurement.
@@ -56,6 +68,11 @@ type sizeResult struct {
 	Modes    map[string]modeResult `json:"modes"`
 	// SpeedupTotal is closure_walk step time over neighbor_list step time.
 	SpeedupTotal float64 `json:"speedup_total"`
+	// SpeedupSkin is neighbor_list step time over neighbor_list_skin step
+	// time, and SpeedupFindNeighborsSkin the same ratio for the
+	// find_neighbors pass alone (the amortization the skin buys).
+	SpeedupSkin              float64 `json:"speedup_skin"`
+	SpeedupFindNeighborsSkin float64 `json:"speedup_find_neighbors_skin"`
 }
 
 type output struct {
@@ -65,27 +82,43 @@ type output struct {
 }
 
 // runMode times every pipeline pass over the given number of steps on a
-// fresh Turbulence state. SFC reordering is disabled so both modes advance
-// identical trajectories and the comparison is pure pipeline cost.
-func runMode(nSide, warmup, steps int, closureWalk bool) (modeResult, int) {
+// fresh Turbulence state. SFC reordering is disabled so all modes advance
+// identical trajectories and the comparison is pure pipeline cost. skin < 0
+// keeps the default Verlet skin; skin == 0 pins the rebuild-every-step list.
+func runMode(nSide, warmup, steps int, closureWalk bool, skin float64) (modeResult, int) {
 	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
 	opt.ClosureWalk = closureWalk
 	opt.ReorderEvery = 0
+	if skin >= 0 {
+		opt.Skin = skin
+	}
 	st := sph.NewState(p, opt)
 
 	acc := make(map[string]time.Duration, len(passNames))
-	timed := func(name string, fn func()) {
+	timed := func(name string, fn func()) time.Duration {
 		t0 := time.Now()
 		fn()
-		acc[name] += time.Since(t0)
+		d := time.Since(t0)
+		acc[name] += d
+		return d
 	}
+	var rebuildNs, refreshNs time.Duration
+	statsBase := st.NbrStats
 	for s := 0; s < warmup+steps; s++ {
 		if s == warmup {
 			for k := range acc {
 				delete(acc, k)
 			}
+			rebuildNs, refreshNs = 0, 0
+			statsBase = st.NbrStats
 		}
-		timed("find_neighbors", st.FindNeighbors)
+		preRebuilds := st.NbrStats.Rebuilds
+		dFind := timed("find_neighbors", st.FindNeighbors)
+		if st.NbrStats.Rebuilds > preRebuilds {
+			rebuildNs += dFind
+		} else {
+			refreshNs += dFind
+		}
 		timed("xmass", st.XMass)
 		timed("gradh", st.NormalizationGradh)
 		timed("eos", st.EquationOfState)
@@ -107,6 +140,21 @@ func runMode(nSide, warmup, steps int, closureWalk bool) (modeResult, int) {
 	}
 	res.NsPerParticleStep["total"] = float64(total.Nanoseconds()) / denom
 	res.StepMs = float64(total.Nanoseconds()) / float64(steps) / 1e6
+
+	if opt.Skin > 0 && !closureWalk {
+		rebuilds := st.NbrStats.Rebuilds - statsBase.Rebuilds
+		refreshes := st.NbrStats.Refreshes - statsBase.Refreshes
+		res.Skin = opt.Skin
+		res.Rebuilds = rebuilds
+		res.Refreshes = refreshes
+		if rebuilds > 0 {
+			res.RebuildIntervalSteps = float64(rebuilds+refreshes) / float64(rebuilds)
+			res.RebuildNsPerParticle = float64(rebuildNs.Nanoseconds()) / (float64(p.N) * float64(rebuilds))
+		}
+		if refreshes > 0 {
+			res.RefreshNsPerParticle = float64(refreshNs.Nanoseconds()) / (float64(p.N) * float64(refreshes))
+		}
+	}
 	return res, opt.NgTarget
 }
 
@@ -125,9 +173,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("size %d³ (%d particles): closure walk...", nSide, nSide*nSide*nSide)
-		walk, ngTarget := runMode(nSide, *warmup, *steps, true)
+		walk, ngTarget := runMode(nSide, *warmup, *steps, true, 0)
 		fmt.Printf(" %.1f ms/step; neighbor list...", walk.StepMs)
-		list, _ := runMode(nSide, *warmup, *steps, false)
+		list, _ := runMode(nSide, *warmup, *steps, false, 0)
+		fmt.Printf(" %.1f ms/step; verlet skin...", list.StepMs)
+		skin, _ := runMode(nSide, *warmup, *steps, false, -1)
 		sr := sizeResult{
 			NSide:    nSide,
 			N:        nSide * nSide * nSide,
@@ -135,12 +185,16 @@ func main() {
 			Warmup:   *warmup,
 			Steps:    *steps,
 			Modes: map[string]modeResult{
-				"closure_walk":  walk,
-				"neighbor_list": list,
+				"closure_walk":       walk,
+				"neighbor_list":      list,
+				"neighbor_list_skin": skin,
 			},
-			SpeedupTotal: walk.StepMs / list.StepMs,
+			SpeedupTotal:             walk.StepMs / list.StepMs,
+			SpeedupSkin:              list.StepMs / skin.StepMs,
+			SpeedupFindNeighborsSkin: list.NsPerParticleStep["find_neighbors"] / skin.NsPerParticleStep["find_neighbors"],
 		}
-		fmt.Printf(" %.1f ms/step (%.2fx)\n", list.StepMs, sr.SpeedupTotal)
+		fmt.Printf(" %.1f ms/step (list %.2fx walk, skin %.2fx list, find_neighbors %.2fx)\n",
+			skin.StepMs, sr.SpeedupTotal, sr.SpeedupSkin, sr.SpeedupFindNeighborsSkin)
 		o.Sizes = append(o.Sizes, sr)
 	}
 

@@ -56,6 +56,18 @@ type Config struct {
 	// KeepSeries records every function's per-call time in the report
 	// (per-step timelines for variability analysis).
 	KeepSeries bool
+	// NeighborRebuildEvery models the SPH layer's Verlet-skin neighbor-list
+	// reuse: the FindNeighbors phase performs a full candidate rebuild only
+	// every K-th step and a cheap streaming refresh in between, whose
+	// modeled work is the NeighborRefreshCost fraction of a rebuild's. 0 or
+	// 1 rebuilds every step (the pre-skin behavior, byte-identical). The
+	// function phase — and its span, attribution row and frequency-switch
+	// point — still exists on refresh steps, matching the real pipeline.
+	NeighborRebuildEvery int
+	// NeighborRefreshCost is the refresh:rebuild work ratio in (0, 1];
+	// defaults to 0.35 (the measured CPU-side ratio of the SPH harness)
+	// when NeighborRebuildEvery enables reuse.
+	NeighborRefreshCost float64
 	// Tracer, when non-nil, receives the run's span timeline — steps,
 	// instrumented functions, kernel launches, frequency changes, MPI
 	// waits — exportable as Chrome trace_event JSON. Nil disables span
@@ -108,6 +120,9 @@ func (c Config) Defaulted() Config {
 	if c.HostOverheadScale == 0 {
 		c.HostOverheadScale = 1
 	}
+	if c.NeighborRebuildEvery > 1 && c.NeighborRefreshCost == 0 {
+		c.NeighborRefreshCost = 0.35
+	}
 	return c
 }
 
@@ -139,6 +154,12 @@ func (c Config) Validate() error {
 	if !validPolicy(c.Degradation) {
 		return fmt.Errorf("core: unknown degradation policy %q (want %s, %s or %s)",
 			c.Degradation, DegradeAbort, DegradeDropRank, DegradeRedistribute)
+	}
+	if c.NeighborRebuildEvery < 0 {
+		return fmt.Errorf("core: negative NeighborRebuildEvery %d", c.NeighborRebuildEvery)
+	}
+	if c.NeighborRefreshCost < 0 || c.NeighborRefreshCost > 1 {
+		return fmt.Errorf("core: NeighborRefreshCost %g outside (0, 1]", c.NeighborRefreshCost)
 	}
 	return nil
 }
@@ -389,6 +410,12 @@ func Run(cfg Config) (*Result, error) {
 	for step := 0; step < cfg.Steps; step++ {
 		curStep = step
 		stepJ := 0.0
+		// Verlet-skin modeling: refresh-only FindNeighbors steps run the
+		// same phase at a fraction of the rebuild's work.
+		nbrRefresh := cfg.NeighborRebuildEvery > 1 && step%cfg.NeighborRebuildEvery != 0
+		if !nbrRefresh {
+			rt.neighborRebuild()
+		}
 		for _, fn := range pipeline {
 			commS := commTime(fn, cfg, net)
 			hostS, known := hostOverheads[fn.Name]
@@ -413,6 +440,10 @@ func Run(cfg Config) (*Result, error) {
 				ran[r] = true
 				gpuStart[r] = rc.sensor.Read()
 				desc := fn.Kernel(cfg.ParticlesPerRank*load*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
+				if nbrRefresh && fn.Name == FnFindNeighbors {
+					desc.FlopsPerItem *= cfg.NeighborRefreshCost
+					desc.BytesPerItem *= cfg.NeighborRefreshCost
+				}
 				dur := rc.dev.Execute(desc)
 				rc.samp.Poll()
 				return dur

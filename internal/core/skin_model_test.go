@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sphenergy/internal/telemetry"
+)
+
+// TestNeighborRebuildEveryModelsRefresh checks the runner's Verlet-skin
+// cost model: with reuse enabled, FindNeighbors still runs (and is
+// attributed) every step, but refresh steps do only the configured
+// fraction of a rebuild's work, so time and energy drop; the rebuild
+// counter and cadence gauge report the schedule.
+func TestNeighborRebuildEveryModelsRefresh(t *testing.T) {
+	run := func(every int) (*Result, string) {
+		cfg := miniConfig()
+		cfg.Steps = 8
+		cfg.NeighborRebuildEvery = every
+		cfg.Metrics = telemetry.NewRegistry()
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prom bytes.Buffer
+		if err := cfg.Metrics.WritePrometheus(&prom); err != nil {
+			t.Fatal(err)
+		}
+		return res, prom.String()
+	}
+
+	base, baseProm := run(0)
+	skin, skinProm := run(4)
+
+	// The phase exists on every step in both modes — refresh steps are
+	// cheaper, not absent — so calls match and attribution stays complete.
+	bf := base.Report.FunctionTotal(FnFindNeighbors)
+	sf := skin.Report.FunctionTotal(FnFindNeighbors)
+	if bf.Calls != 8 || sf.Calls != 8 {
+		t.Fatalf("FindNeighbors calls = %d (rebuild-every-step) / %d (skin), want 8/8", bf.Calls, sf.Calls)
+	}
+	if sf.TimeS >= bf.TimeS {
+		t.Errorf("skin FindNeighbors time %v not below rebuild-every-step %v", sf.TimeS, bf.TimeS)
+	}
+	if sf.GPUJ >= bf.GPUJ {
+		t.Errorf("skin FindNeighbors energy %v not below rebuild-every-step %v", sf.GPUJ, bf.GPUJ)
+	}
+	if skin.WallTimeS >= base.WallTimeS {
+		t.Errorf("skin wall time %v not below rebuild-every-step %v", skin.WallTimeS, base.WallTimeS)
+	}
+
+	// 8 steps at cadence 4 rebuild on steps 0 and 4; without reuse every
+	// step rebuilds.
+	if !strings.Contains(baseProm, "neighbor_rebuilds_total 8") {
+		t.Errorf("rebuild-every-step exposition missing neighbor_rebuilds_total 8:\n%s", grepMetric(baseProm, "neighbor_rebuild"))
+	}
+	if !strings.Contains(skinProm, "neighbor_rebuilds_total 2") {
+		t.Errorf("skin exposition missing neighbor_rebuilds_total 2:\n%s", grepMetric(skinProm, "neighbor_rebuild"))
+	}
+	if !strings.Contains(baseProm, "neighbor_rebuild_interval_steps 1") {
+		t.Errorf("rebuild-every-step cadence gauge != 1:\n%s", grepMetric(baseProm, "neighbor_rebuild"))
+	}
+	if !strings.Contains(skinProm, "neighbor_rebuild_interval_steps 4") {
+		t.Errorf("skin cadence gauge != 4:\n%s", grepMetric(skinProm, "neighbor_rebuild"))
+	}
+
+	// Cadence 1 is the explicit opt-out and must be bit-identical to the
+	// zero value.
+	one, _ := run(1)
+	if one.WallTimeS != base.WallTimeS || one.Report.TotalEnergyJ != base.Report.TotalEnergyJ {
+		t.Errorf("NeighborRebuildEvery=1 diverges from 0: wall %v vs %v, energy %v vs %v",
+			one.WallTimeS, base.WallTimeS, one.Report.TotalEnergyJ, base.Report.TotalEnergyJ)
+	}
+}
+
+// grepMetric returns the exposition lines mentioning substr, for failure
+// messages that don't dump the whole registry.
+func grepMetric(prom, substr string) string {
+	var out []string
+	for _, line := range strings.Split(prom, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

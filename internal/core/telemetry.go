@@ -26,6 +26,7 @@ type runTelemetry struct {
 	stepTime       *telemetry.Histogram
 	stepEnergy     *telemetry.Histogram
 	mpiWait        *telemetry.Counter
+	nbrRebuilds    *telemetry.Counter
 
 	// Interned span identities for the per-phase spans, memoized per call
 	// site so the steady-state loop records through SpanRefs only. These
@@ -78,7 +79,25 @@ func newRunTelemetry(cfg Config) *runTelemetry {
 		"allocation energy per step", telemetry.ExpBuckets(1, 10, 9))
 	rt.mpiWait = rt.reg.Counter("mpi_wait_s_total",
 		"cumulative barrier wait time across all ranks")
+	rt.nbrRebuilds = rt.reg.Counter("neighbor_rebuilds_total",
+		"steps whose FindNeighbors phase rebuilt the neighbor candidate list")
+	if every := cfg.NeighborRebuildEvery; every > 1 {
+		rt.reg.Gauge("neighbor_rebuild_interval_steps",
+			"configured Verlet-skin rebuild cadence (1 = rebuild every step)").Set(float64(every))
+	} else {
+		rt.reg.Gauge("neighbor_rebuild_interval_steps",
+			"configured Verlet-skin rebuild cadence (1 = rebuild every step)").Set(1)
+	}
 	return rt
+}
+
+// neighborRebuild records a step whose FindNeighbors phase performs a full
+// candidate-list rebuild (as opposed to a Verlet-skin refresh).
+func (rt *runTelemetry) neighborRebuild() {
+	if rt == nil {
+		return
+	}
+	rt.nbrRebuilds.Inc()
 }
 
 // instrumentRank attaches the device observer, wraps the clock setter, and

@@ -1,0 +1,11 @@
+package experiments
+
+import "sphenergy/internal/tuner"
+
+// sessionCache memoizes tuner measurements for the lifetime of the process.
+// Several drivers repeat the same sweep — Fig. 7 and the power-cap extension
+// each re-run Fig. 2's per-function tuning to obtain the ManDyn table — and
+// with `-run all` every repeat would otherwise re-measure 28 clocks per
+// pipeline function. Cached replays are bit-identical to fresh measurements
+// (see tuner.Cache), so figure outputs are unchanged.
+var sessionCache = tuner.NewCache()

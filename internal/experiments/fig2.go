@@ -43,6 +43,7 @@ func Fig2(scale float64) (*Fig2Data, error) {
 		Objective:  tuner.EDP,
 		Strategy:   tuner.BruteForce,
 		Iterations: 3,
+		Cache:      sessionCache,
 	}
 	for _, fn := range core.TurbulencePipeline() {
 		kernel := fn.Kernel(particles450Cubed, 150, spec.Vendor)

@@ -17,9 +17,23 @@ func benchPoints(n int) (sfc.Box, []float64, []float64, []float64) {
 
 func BenchmarkGridBuild(b *testing.B) {
 	box, x, y, z := benchPoints(50000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildGrid(box, x, y, z, 0.05)
+	}
+}
+
+// BenchmarkGridBuildReuse is the steady-state path the SPH loop takes: the
+// same Grid is rebuilt in place every step, so after warm-up the allocation
+// column should read zero.
+func BenchmarkGridBuildReuse(b *testing.B) {
+	box, x, y, z := benchPoints(50000)
+	var g *Grid
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g = BuildGridInto(g, box, x, y, z, 0.05)
 	}
 }
 
@@ -34,6 +48,7 @@ func BenchmarkTreeBuild(b *testing.B) {
 func BenchmarkGridQuery(b *testing.B) {
 	box, x, y, z := benchPoints(50000)
 	g := BuildGrid(box, x, y, z, 0.05)
+	b.ReportAllocs()
 	b.ResetTimer()
 	total := 0
 	for i := 0; i < b.N; i++ {

@@ -16,9 +16,18 @@ import (
 // all SoA fields, and a trailing CRC32 so truncated or corrupted files are
 // detected on load.
 
+// Version history:
+//
+//	1 — particles + integrator clock
+//	2 — appends the SFC reorder clock and the Verlet-skin reference
+//	    snapshot (positions + smoothing lengths the candidate list was
+//	    built from), so restarted runs replay the same rebuild/reorder
+//	    steps bit-identically. The candidate indices themselves are a pure
+//	    function of the snapshot and are regenerated on restore. Version-1
+//	    files still load.
 const (
 	checkpointMagic   = "SPHX"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // fieldSlices returns every float64 field in a fixed serialization order.
@@ -63,6 +72,25 @@ func (s *State) WriteCheckpoint(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, s.P.Keys); err != nil {
 		return fmt.Errorf("sph: checkpoint: %w", err)
 	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(s.LastReorderStep)); err != nil {
+		return fmt.Errorf("sph: checkpoint: %w", err)
+	}
+	hasSkin := uint8(0)
+	if s.List != nil && s.List.refsOK {
+		hasSkin = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasSkin); err != nil {
+		return fmt.Errorf("sph: checkpoint: %w", err)
+	}
+	if hasSkin == 1 {
+		nl := s.List
+		skin := []interface{}{int64(nl.BuildStep), nl.RefX, nl.RefY, nl.RefZ, nl.RefH}
+		for _, v := range skin {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("sph: checkpoint: %w", err)
+			}
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("sph: checkpoint: %w", err)
 	}
@@ -104,7 +132,7 @@ func ReadCheckpoint(r io.Reader, opt Options) (*State, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("sph: checkpoint: %w", err)
 	}
-	if version != checkpointVersion {
+	if version != 1 && version != checkpointVersion {
 		return nil, fmt.Errorf("sph: checkpoint: unsupported version %d", version)
 	}
 	var n uint64
@@ -131,13 +159,55 @@ func ReadCheckpoint(r io.Reader, opt Options) (*State, error) {
 	if err := binary.Read(br, binary.LittleEndian, p.Keys); err != nil {
 		return nil, fmt.Errorf("sph: checkpoint: %w", err)
 	}
-	if br.Len() != 0 {
-		return nil, fmt.Errorf("sph: checkpoint: %d trailing bytes", br.Len())
-	}
 	st := NewState(p, opt)
 	st.Time = timeS
 	st.Dt = dt
 	st.Step = int(step)
+	if version >= 2 {
+		var lastReorder int64
+		if err := binary.Read(br, binary.LittleEndian, &lastReorder); err != nil {
+			return nil, fmt.Errorf("sph: checkpoint: %w", err)
+		}
+		st.LastReorderStep = int(lastReorder)
+		var hasSkin uint8
+		if err := binary.Read(br, binary.LittleEndian, &hasSkin); err != nil {
+			return nil, fmt.Errorf("sph: checkpoint: %w", err)
+		}
+		if hasSkin == 1 {
+			nl := &NeighborList{Ngmax: opt.ngmax()}
+			var buildStep int64
+			if err := binary.Read(br, binary.LittleEndian, &buildStep); err != nil {
+				return nil, fmt.Errorf("sph: checkpoint: %w", err)
+			}
+			nl.BuildStep = int(buildStep)
+			nl.RefX = make([]float64, n)
+			nl.RefY = make([]float64, n)
+			nl.RefZ = make([]float64, n)
+			nl.RefH = make([]float64, n)
+			for _, f := range [][]float64{nl.RefX, nl.RefY, nl.RefZ, nl.RefH} {
+				if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+					return nil, fmt.Errorf("sph: checkpoint: %w", err)
+				}
+			}
+			// The candidate CSR is regenerated from the snapshot on the
+			// next FindNeighbors; until then only the references are valid.
+			nl.refsOK = true
+			st.List = nl
+		}
+	} else if k := opt.ReorderEvery; k > 0 && st.Step > 0 {
+		// Version-1 files predate the reorder clock; pre-PR runs reordered
+		// at the start of every step that is a multiple of ReorderEvery,
+		// which this reproduces (a resume landing exactly on a multiple
+		// still has that reorder ahead of it).
+		if st.Step%k == 0 {
+			st.LastReorderStep = st.Step - k
+		} else {
+			st.LastReorderStep = st.Step - st.Step%k
+		}
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("sph: checkpoint: %d trailing bytes", br.Len())
+	}
 	return st, nil
 }
 

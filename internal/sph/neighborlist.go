@@ -55,6 +55,26 @@ type NeighborList struct {
 	Ngmax    int
 	Overflow int
 
+	// Verlet-skin candidate cache: CandOffsets/CandIdx hold, in the same
+	// CSR layout as the main list, every particle within the inflated
+	// radius (1+Skin)·2·1.3·refH_i of particle i at the positions the list
+	// was last built from. Refresh steps recompute displacements for these
+	// pairs only. RefX/RefY/RefZ/RefH snapshot the build-time positions and
+	// (pre-update) smoothing lengths that drift is measured against, and
+	// BuildStep the step the build ran on. The candidate arrays are a pure
+	// function of the references, so checkpoints persist only the
+	// references and restarts regenerate CandIdx bit-identically.
+	CandOffsets []int32
+	CandIdx     []int32
+	RefX        []float64
+	RefY        []float64
+	RefZ        []float64
+	RefH        []float64
+	BuildStep   int
+
+	refsOK  bool // reference snapshot is valid
+	candsOK bool // candidate CSR matches the reference snapshot
+
 	extCnt []int32 // scratch: per-particle extras count, then fill cursor
 }
 
@@ -75,6 +95,10 @@ type listChunk struct {
 	dz       []float64
 	dist     []float64
 	overflow int
+
+	// Skin builds additionally capture the inflated-radius candidate set.
+	cand       []int32
+	candCounts []int32
 }
 
 var listChunkPool = sync.Pool{New: func() interface{} { return new(listChunk) }}
@@ -88,6 +112,8 @@ func (cb *listChunk) reset(lo int) {
 	cb.dz = cb.dz[:0]
 	cb.dist = cb.dist[:0]
 	cb.overflow = 0
+	cb.cand = cb.cand[:0]
+	cb.candCounts = cb.candCounts[:0]
 }
 
 func ensureInt32(s []int32, n int) []int32 {
@@ -156,41 +182,9 @@ func (s *State) buildNeighborList(maxH float64) float64 {
 				cb.dz = append(cb.dz, dz)
 				cb.dist = append(cb.dist, dist)
 			})
-			cnt := 0
-			for k := start; k < len(cb.dist); k++ {
-				if cb.dist[k] < 2*hOld {
-					cnt++
-				}
-			}
-			p.NC[i] = int32(cnt)
-			h := updateH(hOld, cnt, ng, maxH)
-			p.H[i] = h
-			if h > localMax {
+			if h := finishParticle(p, cb, i, start, nl.Ngmax, hOld, ng, maxH); h > localMax {
 				localMax = h
 			}
-			r := 2 * h
-			w := start
-			for k := start; k < len(cb.idx); k++ {
-				if cb.dist[k] >= r {
-					continue
-				}
-				if w-start >= nl.Ngmax {
-					cb.overflow++
-					break
-				}
-				cb.idx[w] = cb.idx[k]
-				cb.dx[w] = cb.dx[k]
-				cb.dy[w] = cb.dy[k]
-				cb.dz[w] = cb.dz[k]
-				cb.dist[w] = cb.dist[k]
-				w++
-			}
-			cb.idx = cb.idx[:w]
-			cb.dx = cb.dx[:w]
-			cb.dy = cb.dy[:w]
-			cb.dz = cb.dz[:w]
-			cb.dist = cb.dist[:w]
-			cb.counts = append(cb.counts, int32(w-start))
 		}
 		mu.Lock()
 		chunks = append(chunks, cb)
@@ -198,17 +192,78 @@ func (s *State) buildNeighborList(maxH float64) float64 {
 		return localMax
 	}, math.Max)
 
-	// Merge the chunk buffers in range order. Each worker owned a
-	// contiguous particle range, so its buffer is a contiguous segment of
-	// the final CSR arrays.
+	nl.mergeChunks(chunks, n, false)
+	nl.refsOK, nl.candsOK = false, false
+	s.buildExtras()
+	return newMax
+}
+
+// finishParticle turns particle i's gathered entries — chunk positions
+// [start, len) — into its final neighbor segment: the old-h count drives the
+// smoothing-length update (recorded in NC, matching the closure-walk
+// pipeline), and the survivors within the new 2*h — capped at ngmax — are
+// compacted in place. Returns the updated smoothing length. Shared verbatim
+// by the every-step build, the skin rebuild and the skin refresh so all
+// three produce bit-identical lists from the same gathered pairs.
+func finishParticle(p *Particles, cb *listChunk, i, start, ngmax int, hOld, ng, maxH float64) float64 {
+	cnt := 0
+	for k := start; k < len(cb.dist); k++ {
+		if cb.dist[k] < 2*hOld {
+			cnt++
+		}
+	}
+	p.NC[i] = int32(cnt)
+	h := updateH(hOld, cnt, ng, maxH)
+	p.H[i] = h
+	r := 2 * h
+	w := start
+	for k := start; k < len(cb.idx); k++ {
+		if cb.dist[k] >= r {
+			continue
+		}
+		if w-start >= ngmax {
+			cb.overflow++
+			break
+		}
+		cb.idx[w] = cb.idx[k]
+		cb.dx[w] = cb.dx[k]
+		cb.dy[w] = cb.dy[k]
+		cb.dz[w] = cb.dz[k]
+		cb.dist[w] = cb.dist[k]
+		w++
+	}
+	cb.idx = cb.idx[:w]
+	cb.dx = cb.dx[:w]
+	cb.dy = cb.dy[:w]
+	cb.dz = cb.dz[:w]
+	cb.dist = cb.dist[:w]
+	cb.counts = append(cb.counts, int32(w-start))
+	return h
+}
+
+// mergeChunks concatenates the worker chunk buffers in range order into the
+// CSR arrays. Each worker owned a contiguous particle range, so its buffer
+// is a contiguous segment of the final arrays and the merged list is
+// identical to a serial build. withCands additionally merges the captured
+// candidate segments of a skin build.
+func (nl *NeighborList) mergeChunks(chunks []*listChunk, n int, withCands bool) {
 	sort.Slice(chunks, func(a, b int) bool { return chunks[a].lo < chunks[b].lo })
 	nl.Offsets = ensureInt32(nl.Offsets, n+1)
-	off := int32(0)
+	if withCands {
+		nl.CandOffsets = ensureInt32(nl.CandOffsets, n+1)
+	}
+	off, candOff := int32(0), int32(0)
 	nl.Overflow = 0
 	for _, cb := range chunks {
 		for t, c := range cb.counts {
 			nl.Offsets[cb.lo+t] = off
 			off += c
+		}
+		if withCands {
+			for t, c := range cb.candCounts {
+				nl.CandOffsets[cb.lo+t] = candOff
+				candOff += c
+			}
 		}
 		nl.Overflow += cb.overflow
 	}
@@ -219,6 +274,10 @@ func (s *State) buildNeighborList(maxH float64) float64 {
 	nl.Dy = ensureF64(nl.Dy, total)
 	nl.Dz = ensureF64(nl.Dz, total)
 	nl.Dist = ensureF64(nl.Dist, total)
+	if withCands {
+		nl.CandOffsets[n] = candOff
+		nl.CandIdx = ensureInt32(nl.CandIdx, int(candOff))
+	}
 	for _, cb := range chunks {
 		at := nl.Offsets[cb.lo]
 		copy(nl.Idx[at:], cb.idx)
@@ -226,11 +285,11 @@ func (s *State) buildNeighborList(maxH float64) float64 {
 		copy(nl.Dy[at:], cb.dy)
 		copy(nl.Dz[at:], cb.dz)
 		copy(nl.Dist[at:], cb.dist)
+		if withCands {
+			copy(nl.CandIdx[nl.CandOffsets[cb.lo]:], cb.cand)
+		}
 		listChunkPool.Put(cb)
 	}
-
-	s.buildExtras()
-	return newMax
 }
 
 // buildExtras derives the asymmetric-support segments by transposing the

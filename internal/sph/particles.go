@@ -189,8 +189,26 @@ type Options struct {
 
 	// ReorderEvery makes RunStep reorder particles along the Morton SFC
 	// every K steps (0 disables), so neighbor-list indices keep pointing
-	// at cache-adjacent memory as particles mix.
+	// at cache-adjacent memory as particles mix. With Verlet-skin reuse
+	// active the cadence is keyed to the rebuild trigger: once K steps have
+	// passed, the reorder rides along with the next candidate rebuild
+	// (reordering invalidates the candidate cache anyway) and is forced at
+	// 2K so the memory layout cannot go permanently stale.
 	ReorderEvery int
+
+	// Skin is the Verlet-skin fraction of the neighbor search: FindNeighbors
+	// gathers candidates out to (1+Skin)·2·1.3·h and reuses that candidate
+	// list across steps, refreshing only the cached pair displacements,
+	// until accumulated particle drift (or smoothing-length growth) could
+	// let an unseen pair enter some support sphere. 0 disables reuse and is
+	// bit-identical to rebuilding every step; larger skins refresh cheaper
+	// lists less often but make every pass scan more candidates.
+	Skin float64
+
+	// RebuildEvery forces a candidate rebuild at least every K steps on top
+	// of the drift trigger (0 = drift-triggered only). 1 disables reuse
+	// entirely, reproducing the rebuild-every-step pipeline exactly.
+	RebuildEvery int
 
 	// CFL is the Courant factor for the timestep.
 	CFL float64
@@ -220,6 +238,7 @@ func DefaultOptions(box sfc.Box) Options {
 		CFL:          0.3,
 		MaxDtGrowth:  1.1,
 		ReorderEvery: 32,
+		Skin:         0.3,
 		GravG:        1.0,
 		GravEps:      1e-3,
 		GravTheta:    0.5,
@@ -256,6 +275,33 @@ type State struct {
 	// Dt is the current timestep; Time the accumulated simulated physics time.
 	Dt, Time float64
 	Step     int
+
+	// LastReorderStep records the step of the last SFC reorder; RunStep keys
+	// the reorder cadence to it and it is checkpointed so restarted runs
+	// replay the same reorder (and therefore rebuild) steps.
+	LastReorderStep int
+
+	// NbrStats counts how FindNeighbors resolved each step (diagnostic
+	// only; not checkpointed).
+	NbrStats NeighborStats
+
+	gridBuf  *neighbors.Grid // reused cell-grid buffers across rebuilds
+	hBackup  []float64       // refresh-abort scratch: pre-update H
+	ncBackup []int32         // refresh-abort scratch: pre-update NC
+}
+
+// NeighborStats breaks down FindNeighbors activity since the state was
+// created: how many steps rebuilt the Verlet-skin candidate list versus
+// refreshing the cached pairs, and what triggered each rebuild. With skin
+// reuse disabled every step counts as an init rebuild.
+type NeighborStats struct {
+	Rebuilds  int // candidate-list builds (sum of the cause counters)
+	Refreshes int // steps served from the cached candidate list
+
+	RebuildInit     int // no valid list: first step, post-reorder, mode switch
+	RebuildCadence  int // Options.RebuildEvery interval expired
+	RebuildDrift    int // accumulated drift could hide an unseen pair
+	RebuildOverflow int // ngmax overflow during a refresh forced a rebuild
 }
 
 // NewState creates a simulation state. The first Timestep call sets Dt

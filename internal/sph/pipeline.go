@@ -16,13 +16,53 @@ import (
 func (s *State) FindNeighbors() {
 	p := s.P
 	maxH := p.MaxH()
-	s.Grid = s.buildGrid(maxH)
 	if s.Opt.ClosureWalk {
+		s.Grid = s.buildGrid(maxH)
 		s.List = nil
 		s.countAndUpdateH(maxH)
 		return
 	}
-	s.MaxH = s.buildNeighborList(maxH)
+	if !s.skinActive() {
+		s.Grid = s.buildGrid(maxH)
+		s.MaxH = s.buildNeighborList(maxH)
+		s.NbrStats.Rebuilds++
+		s.NbrStats.RebuildInit++
+		return
+	}
+	// Verlet-skin path: reuse the cached candidate list when it still
+	// covers every support sphere, rebuild otherwise.
+	nl := s.List
+	if nl == nil || !nl.refsOK {
+		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildInit)
+		return
+	}
+	if !nl.candsOK {
+		// Restored from checkpoint: regenerate the candidate CSR from the
+		// persisted reference snapshot before deciding anything.
+		s.regenCandidates()
+	}
+	if re := s.Opt.RebuildEvery; re > 0 && s.Step-nl.BuildStep >= re {
+		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildCadence)
+		return
+	}
+	if !s.skinValid(maxH) {
+		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildDrift)
+		return
+	}
+	if newMax, ok := s.refreshSkin(maxH); ok {
+		s.NbrStats.Refreshes++
+		s.MaxH = newMax
+		return
+	}
+	s.rebuildWithSkin(maxH, &s.NbrStats.RebuildOverflow)
+}
+
+// rebuildWithSkin runs a candidate rebuild and charges it to the given
+// cause counter.
+func (s *State) rebuildWithSkin(maxH float64, cause *int) {
+	s.MaxH = s.rebuildSkin(maxH)
+	s.NbrStats.Rebuilds++
+	*cause++
 }
 
 // countAndUpdateH is the closure-walk neighbor pass: count neighbors at the
@@ -51,18 +91,26 @@ func (s *State) countAndUpdateH(maxH float64) {
 // smoothing length, honoring the configured backend.
 func (s *State) buildGrid(maxH float64) neighbors.Searcher {
 	p := s.P
+	return s.buildSearcher(p.X, p.Y, p.Z, 2*maxH*hGrowthCap) // allow for the in-step h growth clamp
+}
+
+// buildSearcher constructs the neighbor search structure over the given
+// coordinate slices, honoring the configured backend. The cell-grid backend
+// reuses the state's grid buffers, so steady-state rebuilds allocate
+// nothing.
+func (s *State) buildSearcher(x, y, z []float64, radius float64) neighbors.Searcher {
 	if s.Opt.TreeSearch {
 		bucket := s.Opt.TreeBucketSize
 		if bucket <= 0 {
 			bucket = 64
 		}
-		return neighbors.BuildTree(s.Opt.Box, p.X, p.Y, p.Z, bucket)
+		return neighbors.BuildTree(s.Opt.Box, x, y, z, bucket)
 	}
-	radius := 2 * maxH * hGrowthCap // allow for the in-step h growth clamp
 	if radius <= 0 {
 		radius = s.Opt.Box.MinExtent() / 4
 	}
-	return neighbors.BuildGrid(s.Opt.Box, p.X, p.Y, p.Z, radius)
+	s.gridBuf = neighbors.BuildGridInto(s.gridBuf, s.Opt.Box, x, y, z, radius)
+	return s.gridBuf
 }
 
 // BuildGridFor constructs the neighbor search structure sized for the

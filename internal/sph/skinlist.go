@@ -1,0 +1,316 @@
+package sph
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"sphenergy/internal/neighbors"
+	"sphenergy/internal/par"
+)
+
+// Verlet-skin neighbor-list reuse. The candidate list is built once at the
+// inflated cutoff (1+Skin)·2·hGrowthCap·h and reused across steps: between
+// rebuilds a streaming refresh recomputes the cached pairs' displacements
+// and re-filters them by the current cutoff, producing a NeighborList
+// bit-identical to what a fresh gather over the same pair set would have
+// built. A rebuild is forced when accumulated drift could let an unseen
+// pair enter some support sphere (skinValid), when the RebuildEvery cadence
+// expires, when a refresh overflows ngmax, or when an SFC reorder has
+// invalidated the indices.
+
+// skinActive reports whether FindNeighbors runs the Verlet-skin path.
+// Skin=0 and RebuildEvery=1 both select the legacy rebuild-every-step list
+// build, byte for byte.
+func (s *State) skinActive() bool {
+	return s.Opt.Skin > 0 && s.Opt.RebuildEvery != 1 && !s.Opt.ClosureWalk
+}
+
+// skinValid reports whether the cached candidate list still covers every
+// support sphere at the current positions. Particle i's candidates were
+// gathered out to R_i = (1+Skin)·2·hGrowthCap·RefH_i around its reference
+// position; this step's gather needs every j within B_i = 2·hGrowthCap·h_i
+// of the current position. Writing d_i for i's minimum-image drift from its
+// reference, a pair now within B_i satisfied |ref_i - ref_j| <= B_i + d_i +
+// d_j at build time, so the cache is complete while
+//
+//	max_i (d_i + B_i - R_i) + max_j d_j <= 0
+//
+// evaluated here with a small negative slack absorbing the rounding of the
+// drift computation. Smoothing-length growth beyond (1+Skin)·RefH_i makes
+// B_i - R_i positive and forces a rebuild through the same expression.
+func (s *State) skinValid(maxH float64) bool {
+	p := s.P
+	nl := s.List
+	box := s.Opt.Box
+	lx, ly, lz := box.Lx(), box.Ly(), box.Lz()
+	pbx, pby, pbz := box.PBCx, box.PBCy, box.PBCz
+	sk := 1 + s.Opt.Skin
+
+	var mu sync.Mutex
+	maxDrift, maxExcess := math.Inf(-1), math.Inf(-1)
+	par.ForChunked(p.N, func(lo, hi int) {
+		localDrift, localExcess := math.Inf(-1), math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			dx := neighbors.MinImage(p.X[i]-nl.RefX[i], lx, pbx)
+			dy := neighbors.MinImage(p.Y[i]-nl.RefY[i], ly, pby)
+			dz := neighbors.MinImage(p.Z[i]-nl.RefZ[i], lz, pbz)
+			d := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if d > localDrift {
+				localDrift = d
+			}
+			// B_i - R_i = 2·hGrowthCap·(h_i - (1+Skin)·RefH_i)
+			if e := d + 2*hGrowthCap*(p.H[i]-sk*nl.RefH[i]); e > localExcess {
+				localExcess = e
+			}
+		}
+		mu.Lock()
+		if localDrift > maxDrift {
+			maxDrift = localDrift
+		}
+		if localExcess > maxExcess {
+			maxExcess = localExcess
+		}
+		mu.Unlock()
+	})
+	return maxExcess+maxDrift <= -1e-12*(2*hGrowthCap*maxH)
+}
+
+// rebuildSkin builds the neighbor list and the inflated candidate cache in
+// one grid traversal: the gather runs out to (1+Skin)·2·hGrowthCap·h_old,
+// every gathered pair is recorded as a candidate, and the subset within the
+// un-inflated 2·hGrowthCap·h_old feeds the exact count/update/filter
+// sequence of the every-step build. Returns the post-update maximum
+// smoothing length.
+func (s *State) rebuildSkin(maxH float64) float64 {
+	p := s.P
+	n := p.N
+	if s.List == nil {
+		s.List = &NeighborList{}
+	}
+	nl := s.List
+	nl.Ngmax = s.Opt.ngmax()
+	ng := float64(s.Opt.NgTarget)
+	sk := 1 + s.Opt.Skin
+
+	// Snapshot the reference state before the smoothing-length update; the
+	// candidate list is a pure function of this snapshot (and the box), so
+	// checkpoints persist only the snapshot.
+	nl.RefX = ensureF64(nl.RefX, n)
+	nl.RefY = ensureF64(nl.RefY, n)
+	nl.RefZ = ensureF64(nl.RefZ, n)
+	nl.RefH = ensureF64(nl.RefH, n)
+	copy(nl.RefX, p.X)
+	copy(nl.RefY, p.Y)
+	copy(nl.RefZ, p.Z)
+	copy(nl.RefH, p.H)
+
+	s.Grid = s.buildSearcher(p.X, p.Y, p.Z, sk*(2*maxH*hGrowthCap))
+
+	var mu sync.Mutex
+	chunks := make([]*listChunk, 0, par.MaxWorkers())
+	newMax := par.Reduce(n, func(lo, hi int) float64 {
+		cb := listChunkPool.Get().(*listChunk)
+		cb.reset(lo)
+		localMax := 0.0
+		for i := lo; i < hi; i++ {
+			hOld := p.H[i]
+			start := len(cb.idx)
+			candStart := len(cb.cand)
+			bound := 2 * hGrowthCap * hOld
+			s.Grid.ForEachNeighbor(i, sk*bound, func(j int, dx, dy, dz, dist float64) {
+				cb.cand = append(cb.cand, int32(j))
+				if dist < bound {
+					cb.idx = append(cb.idx, int32(j))
+					cb.dx = append(cb.dx, dx)
+					cb.dy = append(cb.dy, dy)
+					cb.dz = append(cb.dz, dz)
+					cb.dist = append(cb.dist, dist)
+				}
+			})
+			cb.candCounts = append(cb.candCounts, int32(len(cb.cand)-candStart))
+			if h := finishParticle(p, cb, i, start, nl.Ngmax, hOld, ng, maxH); h > localMax {
+				localMax = h
+			}
+		}
+		mu.Lock()
+		chunks = append(chunks, cb)
+		mu.Unlock()
+		return localMax
+	}, math.Max)
+
+	nl.mergeChunks(chunks, n, true)
+	nl.BuildStep = s.Step
+	nl.refsOK, nl.candsOK = true, true
+	s.buildExtras()
+	return newMax
+}
+
+// refreshSkin re-derives the step's neighbor list from the cached candidate
+// pairs: displacements are recomputed with the grid's minimum-image
+// arithmetic, pairs are re-admitted by the same r² bound the grid gather
+// uses, and the shared count/update/filter sequence finishes each particle.
+// Returns (maxH', true) on success. If any particle overflows ngmax the
+// pass restores H and NC and returns false so the caller falls back to a
+// full rebuild — the skin gather sees pairs the capped candidate segment
+// may not hold, so truncation semantics are only honest on a build step.
+func (s *State) refreshSkin(maxH float64) (float64, bool) {
+	p := s.P
+	n := p.N
+	nl := s.List
+	ng := float64(s.Opt.NgTarget)
+	box := s.Opt.Box
+	lx, ly, lz := box.Lx(), box.Ly(), box.Lz()
+	hx, hy, hz := lx/2, ly/2, lz/2
+	pbx, pby, pbz := box.PBCx, box.PBCy, box.PBCz
+	px, py, pz := p.X, p.Y, p.Z
+	candOff, candIdx := nl.CandOffsets, nl.CandIdx
+
+	// Back up the fields the finishing pass mutates so an overflow can
+	// abort into a rebuild without double-applying the h update.
+	s.hBackup = ensureF64(s.hBackup, n)
+	s.ncBackup = ensureInt32(s.ncBackup, n)
+	copy(s.hBackup, p.H)
+	copy(s.ncBackup, p.NC)
+
+	var mu sync.Mutex
+	chunks := make([]*listChunk, 0, par.MaxWorkers())
+	newMax := par.Reduce(n, func(lo, hi int) float64 {
+		cb := listChunkPool.Get().(*listChunk)
+		cb.reset(lo)
+		localMax := 0.0
+		for i := lo; i < hi; i++ {
+			hOld := p.H[i]
+			start := len(cb.idx)
+			bound := 2 * hGrowthCap * hOld
+			b2 := bound * bound
+			xi, yi, zi := px[i], py[i], pz[i]
+			// Inlined minimum-image fold, term for term the arithmetic of
+			// neighbors.MinImage, so refreshed displacements stay
+			// bit-identical to a fresh grid gather over the same pairs.
+			for t := candOff[i]; t < candOff[i+1]; t++ {
+				j := candIdx[t]
+				dx := xi - px[j]
+				if pbx {
+					if dx > hx {
+						dx -= lx
+					} else if dx < -hx {
+						dx += lx
+					}
+				}
+				dy := yi - py[j]
+				if pby {
+					if dy > hy {
+						dy -= ly
+					} else if dy < -hy {
+						dy += ly
+					}
+				}
+				dz := zi - pz[j]
+				if pbz {
+					if dz > hz {
+						dz -= lz
+					} else if dz < -hz {
+						dz += lz
+					}
+				}
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 >= b2 {
+					continue
+				}
+				cb.idx = append(cb.idx, j)
+				cb.dx = append(cb.dx, dx)
+				cb.dy = append(cb.dy, dy)
+				cb.dz = append(cb.dz, dz)
+				cb.dist = append(cb.dist, math.Sqrt(r2))
+			}
+			if h := finishParticle(p, cb, i, start, nl.Ngmax, hOld, ng, maxH); h > localMax {
+				localMax = h
+			}
+		}
+		mu.Lock()
+		chunks = append(chunks, cb)
+		mu.Unlock()
+		return localMax
+	}, math.Max)
+
+	nl.mergeChunks(chunks, n, false)
+	if nl.Overflow > 0 {
+		copy(p.H, s.hBackup)
+		copy(p.NC, s.ncBackup)
+		return 0, false
+	}
+	s.buildExtras()
+	return newMax, true
+}
+
+// regenCandidates rebuilds the candidate CSR from the checkpointed
+// reference snapshot. The grid construction and gather are pure functions
+// of the references, so the regenerated candidates are bit-identical to the
+// ones the original build captured and a restarted run replays the same
+// refresh/rebuild sequence.
+func (s *State) regenCandidates() {
+	nl := s.List
+	n := s.P.N
+	maxRefH := 0.0
+	for i := 0; i < n; i++ {
+		if nl.RefH[i] > maxRefH {
+			maxRefH = nl.RefH[i]
+		}
+	}
+	sk := 1 + s.Opt.Skin
+	grid := s.buildSearcher(nl.RefX, nl.RefY, nl.RefZ, sk*(2*maxRefH*hGrowthCap))
+
+	var mu sync.Mutex
+	chunks := make([]*listChunk, 0, par.MaxWorkers())
+	par.ForChunked(n, func(lo, hi int) {
+		cb := listChunkPool.Get().(*listChunk)
+		cb.reset(lo)
+		for i := lo; i < hi; i++ {
+			candStart := len(cb.cand)
+			grid.ForEachNeighbor(i, sk*(2*hGrowthCap*nl.RefH[i]), func(j int, _, _, _, _ float64) {
+				cb.cand = append(cb.cand, int32(j))
+			})
+			cb.candCounts = append(cb.candCounts, int32(len(cb.cand)-candStart))
+		}
+		mu.Lock()
+		chunks = append(chunks, cb)
+		mu.Unlock()
+	})
+
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].lo < chunks[b].lo })
+	nl.CandOffsets = ensureInt32(nl.CandOffsets, n+1)
+	off := int32(0)
+	for _, cb := range chunks {
+		for t, c := range cb.candCounts {
+			nl.CandOffsets[cb.lo+t] = off
+			off += c
+		}
+	}
+	nl.CandOffsets[n] = off
+	nl.CandIdx = ensureInt32(nl.CandIdx, int(off))
+	for _, cb := range chunks {
+		copy(nl.CandIdx[nl.CandOffsets[cb.lo]:], cb.cand)
+		listChunkPool.Put(cb)
+	}
+	nl.candsOK = true
+}
+
+// rebuildDue mirrors FindNeighbors' rebuild decision without mutating
+// anything: true when the next FindNeighbors will rebuild the candidate
+// list anyway (or reuse is disabled entirely). RunStep keys the SFC reorder
+// cadence to it so a reorder — which invalidates the cached indices — rides
+// along with a step that was going to rebuild regardless.
+func (s *State) rebuildDue() bool {
+	if !s.skinActive() {
+		return true
+	}
+	nl := s.List
+	if nl == nil || !nl.refsOK {
+		return true
+	}
+	if re := s.Opt.RebuildEvery; re > 0 && s.Step-nl.BuildStep >= re {
+		return true
+	}
+	return !s.skinValid(s.P.MaxH())
+}

@@ -1,0 +1,165 @@
+package tuner
+
+import (
+	"reflect"
+	"testing"
+
+	"sphenergy/internal/gpusim"
+)
+
+// The cache must be invisible in the results: a cached sweep is bit-identical
+// to an uncached one, and a repeat sweep answers from the cache alone.
+func TestCacheBitIdenticalToUncached(t *testing.T) {
+	for _, noise := range []float64{0, 0.02} {
+		cfg := baseCfg()
+		cfg.NoiseRel = noise
+		cfg.Seed = 42
+
+		cold, err := TuneKernel("k", computeBound(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cached := cfg
+		cached.Cache = NewCache()
+		warm1, err := TuneKernel("k", computeBound(), cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm2, err := TuneKernel("k", computeBound(), cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(cold, warm1) {
+			t.Errorf("noise=%v: first cached sweep differs from uncached", noise)
+		}
+		if !reflect.DeepEqual(cold, warm2) {
+			t.Errorf("noise=%v: repeat cached sweep differs from uncached", noise)
+		}
+		hits, misses := cached.Cache.Stats()
+		if misses != int64(len(cold.All)) {
+			t.Errorf("noise=%v: misses = %d, want %d (one per clock on the cold sweep)",
+				noise, misses, len(cold.All))
+		}
+		if hits != int64(len(cold.All)) {
+			t.Errorf("noise=%v: hits = %d, want %d (the repeat sweep should be all hits)",
+				noise, hits, len(cold.All))
+		}
+		if warm2.Evaluations != cold.Evaluations {
+			t.Errorf("noise=%v: cached Evaluations = %d, want %d",
+				noise, warm2.Evaluations, cold.Evaluations)
+		}
+	}
+}
+
+// Changing any keyed input — kernel shape, seed (via the noise stream), or
+// objective — must not cross-contaminate results through the cache.
+func TestCacheKeySeparatesInputs(t *testing.T) {
+	c := NewCache()
+
+	cfg := baseCfg()
+	cfg.NoiseRel = 0.02
+	cfg.Seed = 1
+	cfg.Cache = c
+	a, err := TuneKernel("k", computeBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different kernel shape: all misses, different result.
+	b, err := TuneKernel("k", memoryBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.All, b.All) {
+		t.Error("different kernels returned identical measurements")
+	}
+
+	// Different seed → different noise stream → no hits.
+	_, missesBefore := c.Stats()
+	cfg2 := cfg
+	cfg2.Seed = 2
+	if _, err := TuneKernel("k", computeBound(), cfg2); err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfter := c.Stats()
+	if missesAfter-missesBefore != int64(len(a.All)) {
+		t.Errorf("seed change produced %d misses, want %d", missesAfter-missesBefore, len(a.All))
+	}
+
+	// Objective is not part of the key: a hit-only re-sweep under a new
+	// objective must still rescore the cached time/energy pairs.
+	cfg3 := cfg
+	cfg3.Objective = TimeToSolution
+	c2, err := TuneKernel("k", computeBound(), cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.All {
+		if c2.All[i].TimeS != a.All[i].TimeS || c2.All[i].EnergyJ != a.All[i].EnergyJ {
+			t.Fatalf("objective change altered cached time/energy at %d MHz", a.All[i].MHz)
+		}
+		if c2.All[i].Score != TimeToSolution(a.All[i].TimeS, a.All[i].EnergyJ) {
+			t.Fatalf("cached measurement not rescored under new objective at %d MHz", a.All[i].MHz)
+		}
+	}
+}
+
+// The cache must be safe under the brute-force worker pool and under
+// concurrent TuneKernel calls sharing one cache (the parallel experiment
+// driver does exactly this).
+func TestCacheConcurrentSharedUse(t *testing.T) {
+	c := NewCache()
+	cfg := baseCfg()
+	cfg.NoiseRel = 0.01
+	cfg.Seed = 7
+	cfg.Cache = c
+
+	ref, err := TuneKernel("k", computeBound(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	done := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w], errs[w] = TuneKernel("k", computeBound(), cfg)
+			done <- w
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		<-done
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if !reflect.DeepEqual(results[w], ref) {
+			t.Errorf("worker %d: concurrent cached sweep differs from reference", w)
+		}
+	}
+}
+
+func TestNoiseSignatureDistinguishesStreams(t *testing.T) {
+	a := noiseSignature([]float64{1.0, 2.0})
+	b := noiseSignature([]float64{2.0, 1.0})
+	if a == b {
+		t.Error("order-swapped noise streams collide")
+	}
+	if noiseSignature(nil) != noiseSignature([]float64{}) {
+		t.Error("empty stream signatures differ")
+	}
+	if noiseSignature([]float64{0}) == noiseSignature(nil) {
+		t.Error("zero-valued draw collides with empty stream")
+	}
+	spec := gpusim.A100PCIE40GB()
+	k1 := (&Cache{}).key(spec, computeBound(), 1200, 3, 0.02, nil)
+	k2 := (&Cache{}).key(spec, memoryBound(), 1200, 3, 0.02, nil)
+	if k1 == k2 {
+		t.Error("distinct kernels share a cache key")
+	}
+}

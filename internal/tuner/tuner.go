@@ -86,6 +86,12 @@ type Config struct {
 	// counts and per-candidate time/energy/score gauges labeled by kernel
 	// and frequency, live-scrapable while a long tuning session runs.
 	Metrics *telemetry.Registry
+	// Cache, when non-nil, memoizes device measurements across tuning
+	// sessions keyed by (spec, kernel descriptor, MHz, iterations, noise
+	// stream); repeat sweeps replay cached time/energy bit-identically
+	// instead of re-measuring. Evaluations still counts every logical
+	// evaluation, so a Result is byte-identical with or without a cache.
+	Cache *Cache
 }
 
 // Measurement is one evaluated configuration.
@@ -198,7 +204,19 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 	}
 	var evalCount int64
 	evalWith := func(mhz int, noiseVals []float64) Measurement {
-		m := measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
+		var m Measurement
+		if cfg.Cache != nil {
+			k := cfg.Cache.key(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
+			cached, ok := cfg.Cache.get(k)
+			if ok {
+				m = cached
+			} else {
+				m = measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
+				cfg.Cache.put(k, m)
+			}
+		} else {
+			m = measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
+		}
 		m.Score = cfg.Objective(m.TimeS, m.EnergyJ)
 		atomic.AddInt64(&evalCount, 1)
 		evals.Inc()
