@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet fmt-check test race race-energy race-faults bench bench-telemetry bench-json bench-sph bench-sph-smoke chaos chaos-smoke check experiments examples clean
+.PHONY: all build lint vet fmt-check test race race-energy race-faults bench bench-telemetry bench-json bench-sph bench-sph-smoke bench-gomaxprocs perfgate perfgate-smoke chaos chaos-smoke check experiments examples clean
 
 all: build lint test
 
@@ -11,10 +11,12 @@ all: build lint test
 # re-run of the energy attribution/validation path so a regression there
 # is named in the failure output rather than buried in ./..., a short
 # SPH perf-harness smoke + pipeline-equivalence gate so the neighbor-list
-# fast path can't silently drift from the closure-walk reference, and a
+# fast path can't silently drift from the closure-walk reference, a
 # seeded chaos smoke proving the fault/degradation layer keeps the
-# measurement contract and stays bit-identical per seed.
-check: lint race race-energy race-faults bench-sph-smoke chaos-smoke
+# measurement contract and stays bit-identical per seed, and the perf
+# regression sentinel (perfgate-smoke) diffing a short bench run against
+# the committed BENCH_sph.json baseline.
+check: lint race race-energy race-faults bench-sph-smoke chaos-smoke perfgate-smoke
 
 # lint is the static gate: go vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -77,11 +79,33 @@ bench-telemetry:
 bench-json:
 	$(GO) run ./cmd/energybench -out BENCH_energy.json
 
-# Per-pass SPH pipeline timing (closure walk vs neighbor list) at the
-# tracked problem sizes, as machine-readable JSON. Every perf-relevant PR
-# should regenerate this and report the deltas.
+# Per-pass SPH pipeline timing (closure walk vs neighbor list vs Verlet
+# skin) at the tracked problem sizes, as machine-readable JSON. This IS the
+# perfgate baseline refresh: after an intentional perf change, run
+# `make bench-sph` (with the 1,2,4,8 sweep so the parallel-efficiency
+# fields stay populated) and commit the regenerated BENCH_sph.json
+# alongside the change that caused it.
 bench-sph:
-	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -out BENCH_sph.json
+	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -gomaxprocs 1,2,4,8 -out BENCH_sph.json
+
+# GOMAXPROCS scaling sweep on the Verlet-skin pipeline: per-pass
+# parallel-efficiency fields (t1/(P·tP)) land in gomaxprocs_sweep of the
+# output. Writes to a scratch file so it never clobbers the baseline.
+bench-gomaxprocs:
+	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -gomaxprocs 1,2,4,8 -out /tmp/BENCH_sph_sweep.json
+
+# Perf regression sentinel at full fidelity: rerun the tracked bench and
+# diff it against the committed baseline with the default tolerances.
+perfgate:
+	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -out /tmp/BENCH_sph_fresh.json
+	$(GO) run ./cmd/perfgate -baseline BENCH_sph.json /tmp/BENCH_sph_fresh.json
+
+# Fast sentinel for `check`: fewer steps, relaxed -smoke tolerances — only
+# gross regressions (a pass's share of step time jumping, allocs blowing
+# up, skin reuse breaking) fail the gate.
+perfgate-smoke:
+	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 2 -warmup 1 -out /tmp/BENCH_sph_smoke.json
+	$(GO) run ./cmd/perfgate -smoke -baseline BENCH_sph.json /tmp/BENCH_sph_smoke.json
 
 # Fast correctness/liveness gate for `check`: a tiny sphbench run (exercises
 # all three pipelines end to end — the multi-step run gives the Verlet skin

@@ -5,141 +5,113 @@
 // with the persistent neighbor list rebuilt every step, and with the
 // Verlet-skin list that amortizes rebuilds across steps — so the file
 // records its own before/after comparisons and future PRs diff against a
-// stable schema.
+// stable schema (internal/benchfmt; cmd/perfgate is the consumer).
 //
-// Example:
+// Passes are timed through the pipeline's own Options.PassHook, so the
+// benchmark exercises the exact RunStep the simulator runs, and
+// -cpuprofile attaches per-pass pprof labels through Options.WrapPass.
+//
+// Examples:
 //
 //	sphbench -sizes 20,30 -steps 4 -out BENCH_sph.json
+//	sphbench -sizes 20 -gomaxprocs 1,2,4,8       # parallel-efficiency sweep
+//	sphbench -sizes 30 -cpuprofile cpu.pprof -memprofile heap.pprof
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
-	"time"
 
+	"sphenergy/internal/benchfmt"
 	"sphenergy/internal/initcond"
 	"sphenergy/internal/sph"
+	"sphenergy/internal/telemetry"
 )
 
-// passNames fixes the order and JSON keys of the timed pipeline passes.
-var passNames = []string{
-	"find_neighbors",
-	"xmass",
-	"gradh",
-	"eos",
-	"iad",
-	"av_switches",
-	"momentum_energy",
-	"timestep",
-	"update",
-}
+// profiling is set when -cpuprofile is active; it gates the per-pass pprof
+// labels (pprof.Do allocates, so the labels stay off the unprofiled path).
+var profiling bool
 
-// modeResult is one pipeline variant's timing at one problem size.
-type modeResult struct {
-	// NsPerParticleStep maps each pass (plus "total") to nanoseconds per
-	// particle per step, averaged over the measured steps. For the skin
-	// mode find_neighbors is the amortized cost across rebuild and refresh
-	// steps.
-	NsPerParticleStep map[string]float64 `json:"ns_per_particle_step"`
-	StepMs            float64            `json:"step_ms"`
-	// Skin-mode extras: how often the candidate list was rebuilt over the
-	// measured steps, the mean steps between rebuilds, and the
-	// find_neighbors cost split by step kind.
-	Skin                 float64 `json:"skin,omitempty"`
-	Rebuilds             int     `json:"rebuilds,omitempty"`
-	Refreshes            int     `json:"refreshes,omitempty"`
-	RebuildIntervalSteps float64 `json:"rebuild_interval_steps,omitempty"`
-	RebuildNsPerParticle float64 `json:"find_neighbors_rebuild_ns_per_particle,omitempty"`
-	RefreshNsPerParticle float64 `json:"find_neighbors_refresh_ns_per_particle,omitempty"`
-}
-
-// sizeResult is one problem size's before/after measurement.
-type sizeResult struct {
-	NSide    int                   `json:"n_side"`
-	N        int                   `json:"n"`
-	NgTarget int                   `json:"ng_target"`
-	Warmup   int                   `json:"warmup_steps"`
-	Steps    int                   `json:"measured_steps"`
-	Modes    map[string]modeResult `json:"modes"`
-	// SpeedupTotal is closure_walk step time over neighbor_list step time.
-	SpeedupTotal float64 `json:"speedup_total"`
-	// SpeedupSkin is neighbor_list step time over neighbor_list_skin step
-	// time, and SpeedupFindNeighborsSkin the same ratio for the
-	// find_neighbors pass alone (the amortization the skin buys).
-	SpeedupSkin              float64 `json:"speedup_skin"`
-	SpeedupFindNeighborsSkin float64 `json:"speedup_find_neighbors_skin"`
-}
-
-type output struct {
-	Benchmark  string       `json:"benchmark"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Sizes      []sizeResult `json:"sizes"`
-}
+// passMetrics, when non-nil (-metrics-out), collects pass_seconds
+// histograms (p50/p95/p99 per pass) across every mode and size.
+var passMetrics *telemetry.Registry
 
 // runMode times every pipeline pass over the given number of steps on a
-// fresh Turbulence state. SFC reordering is disabled so all modes advance
-// identical trajectories and the comparison is pure pipeline cost. skin < 0
-// keeps the default Verlet skin; skin == 0 pins the rebuild-every-step list.
-func runMode(nSide, warmup, steps int, closureWalk bool, skin float64) (modeResult, int) {
+// fresh Turbulence state, through the pipeline's own PassHook so the timed
+// code path is RunStep itself. SFC reordering is disabled so all modes
+// advance identical trajectories and the comparison is pure pipeline cost.
+// skin < 0 keeps the default Verlet skin; skin == 0 pins the
+// rebuild-every-step list.
+func runMode(nSide, warmup, steps int, closureWalk bool, skin float64) (benchfmt.ModeResult, int) {
 	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
 	opt.ClosureWalk = closureWalk
 	opt.ReorderEvery = 0
 	if skin >= 0 {
 		opt.Skin = skin
 	}
-	st := sph.NewState(p, opt)
 
-	acc := make(map[string]time.Duration, len(passNames))
-	timed := func(name string, fn func()) time.Duration {
-		t0 := time.Now()
-		fn()
-		d := time.Since(t0)
-		acc[name] += d
-		return d
+	acc := make(map[string]float64, len(benchfmt.PassNames))
+	var rebuildS, refreshS float64
+	var st *sph.State
+	lastRebuilds := 0
+	histHook := telemetry.PassHistogramHook(passMetrics, "pass_seconds",
+		"wall-clock latency per SPH pipeline pass")
+	opt.PassHook = func(pass string, seconds float64) {
+		acc[pass] += seconds
+		if histHook != nil {
+			histHook(pass, seconds)
+		}
+		if pass == sph.PassFindNeighbors {
+			if st.NbrStats.Rebuilds > lastRebuilds {
+				rebuildS += seconds
+			} else {
+				refreshS += seconds
+			}
+			lastRebuilds = st.NbrStats.Rebuilds
+		}
 	}
-	var rebuildNs, refreshNs time.Duration
+	if profiling {
+		opt.WrapPass = func(pass string, run func()) {
+			telemetry.DoLabeled(true, "pass", pass, run)
+		}
+	}
+	st = sph.NewState(p, opt)
+	lastRebuilds = st.NbrStats.Rebuilds // NewState builds the initial list
+
+	var ms runtime.MemStats
+	var mallocsBase uint64
 	statsBase := st.NbrStats
 	for s := 0; s < warmup+steps; s++ {
 		if s == warmup {
 			for k := range acc {
 				delete(acc, k)
 			}
-			rebuildNs, refreshNs = 0, 0
+			rebuildS, refreshS = 0, 0
 			statsBase = st.NbrStats
+			runtime.ReadMemStats(&ms)
+			mallocsBase = ms.Mallocs
 		}
-		preRebuilds := st.NbrStats.Rebuilds
-		dFind := timed("find_neighbors", st.FindNeighbors)
-		if st.NbrStats.Rebuilds > preRebuilds {
-			rebuildNs += dFind
-		} else {
-			refreshNs += dFind
-		}
-		timed("xmass", st.XMass)
-		timed("gradh", st.NormalizationGradh)
-		timed("eos", st.EquationOfState)
-		timed("iad", st.IADVelocityDivCurl)
-		timed("av_switches", func() { st.AVSwitches(st.Dt) })
-		timed("momentum_energy", st.MomentumEnergy)
-		var dt float64
-		timed("timestep", func() { dt = st.Timestep() })
-		timed("update", func() { st.UpdateQuantities(dt) })
+		st.RunStep(nil)
 	}
+	runtime.ReadMemStats(&ms)
 
-	res := modeResult{NsPerParticleStep: make(map[string]float64, len(passNames)+1)}
-	denom := float64(p.N) * float64(steps)
-	var total time.Duration
-	for _, name := range passNames {
-		d := acc[name]
-		total += d
-		res.NsPerParticleStep[name] = float64(d.Nanoseconds()) / denom
+	res := benchfmt.ModeResult{
+		NsPerParticleStep: make(map[string]float64, len(benchfmt.PassNames)+1),
+		AllocsPerStep:     float64(ms.Mallocs-mallocsBase) / float64(steps),
 	}
-	res.NsPerParticleStep["total"] = float64(total.Nanoseconds()) / denom
-	res.StepMs = float64(total.Nanoseconds()) / float64(steps) / 1e6
+	denom := float64(p.N) * float64(steps)
+	var totalS float64
+	for _, name := range benchfmt.PassNames {
+		d := acc[name]
+		totalS += d
+		res.NsPerParticleStep[name] = d * 1e9 / denom
+	}
+	res.NsPerParticleStep[benchfmt.TotalKey] = totalS * 1e9 / denom
+	res.StepMs = totalS * 1e3 / float64(steps)
 
 	if opt.Skin > 0 && !closureWalk {
 		rebuilds := st.NbrStats.Rebuilds - statsBase.Rebuilds
@@ -149,13 +121,61 @@ func runMode(nSide, warmup, steps int, closureWalk bool, skin float64) (modeResu
 		res.Refreshes = refreshes
 		if rebuilds > 0 {
 			res.RebuildIntervalSteps = float64(rebuilds+refreshes) / float64(rebuilds)
-			res.RebuildNsPerParticle = float64(rebuildNs.Nanoseconds()) / (float64(p.N) * float64(rebuilds))
+			res.RebuildNsPerParticle = rebuildS * 1e9 / (float64(p.N) * float64(rebuilds))
 		}
 		if refreshes > 0 {
-			res.RefreshNsPerParticle = float64(refreshNs.Nanoseconds()) / (float64(p.N) * float64(refreshes))
+			res.RefreshNsPerParticle = refreshS * 1e9 / (float64(p.N) * float64(refreshes))
 		}
 	}
 	return res, opt.NgTarget
+}
+
+// runSweep measures the skin-mode pipeline at each GOMAXPROCS setting and
+// derives per-pass parallel efficiency t1/(P·tP) against the sweep's
+// lowest-proc point (exact t1 when the list includes 1). GOMAXPROCS is
+// restored afterwards.
+func runSweep(nSide, warmup, steps int, procs []int) []benchfmt.SweepPoint {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	points := make([]benchfmt.SweepPoint, 0, len(procs))
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		mode, _ := runMode(nSide, warmup, steps, false, -1)
+		points = append(points, benchfmt.SweepPoint{
+			Procs:             p,
+			NsPerParticleStep: mode.NsPerParticleStep,
+			StepMs:            mode.StepMs,
+		})
+		fmt.Printf("  gomaxprocs %d: %.1f ms/step\n", p, mode.StepMs)
+	}
+
+	base := points[0]
+	for i := range points {
+		pt := &points[i]
+		pt.SpeedupVs1 = base.StepMs / pt.StepMs
+		pt.Efficiency = make(map[string]float64, len(pt.NsPerParticleStep))
+		scale := float64(base.Procs) / float64(pt.Procs)
+		for pass, ns := range pt.NsPerParticleStep {
+			if ns > 0 {
+				pt.Efficiency[pass] = base.NsPerParticleStep[pass] / ns * scale
+			}
+		}
+	}
+	return points
+}
+
+func parseInts(csv, what string) []int {
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "sphbench: bad %s %q\n", what, tok)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func main() {
@@ -163,13 +183,39 @@ func main() {
 	steps := flag.Int("steps", 4, "measured steps per run")
 	warmup := flag.Int("warmup", 1, "warmup steps excluded from timing")
 	out := flag.String("out", "BENCH_sph.json", "output path for the JSON results")
+	gomaxprocs := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS sweep (e.g. 1,2,4,8); adds per-pass parallel-efficiency fields")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile with per-pass pprof labels to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	metricsOut := flag.String("metrics-out", "", "write per-pass latency histograms (JSON snapshot with quantiles) to this path")
 	flag.Parse()
 
-	o := output{Benchmark: "sph_pipeline", GoMaxProcs: runtime.GOMAXPROCS(0)}
-	for _, tok := range strings.Split(*sizes, ",") {
-		nSide, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil || nSide < 2 {
-			fmt.Fprintf(os.Stderr, "sphbench: bad size %q\n", tok)
+	if *metricsOut != "" {
+		passMetrics = telemetry.NewRegistry()
+	}
+
+	if *cpuProfile != "" || *memProfile != "" {
+		prof, err := telemetry.StartProfiler(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := prof.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
+			}
+		}()
+		profiling = *cpuProfile != ""
+	}
+
+	var sweepProcs []int
+	if *gomaxprocs != "" {
+		sweepProcs = parseInts(*gomaxprocs, "gomaxprocs")
+	}
+
+	o := benchfmt.Output{Benchmark: "sph_pipeline", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, nSide := range parseInts(*sizes, "size") {
+		if nSide < 2 {
+			fmt.Fprintf(os.Stderr, "sphbench: size %d too small\n", nSide)
 			os.Exit(1)
 		}
 		fmt.Printf("size %d³ (%d particles): closure walk...", nSide, nSide*nSide*nSide)
@@ -178,35 +224,40 @@ func main() {
 		list, _ := runMode(nSide, *warmup, *steps, false, 0)
 		fmt.Printf(" %.1f ms/step; verlet skin...", list.StepMs)
 		skin, _ := runMode(nSide, *warmup, *steps, false, -1)
-		sr := sizeResult{
+		sr := benchfmt.SizeResult{
 			NSide:    nSide,
 			N:        nSide * nSide * nSide,
 			NgTarget: ngTarget,
 			Warmup:   *warmup,
 			Steps:    *steps,
-			Modes: map[string]modeResult{
+			Modes: map[string]benchfmt.ModeResult{
 				"closure_walk":       walk,
 				"neighbor_list":      list,
 				"neighbor_list_skin": skin,
 			},
 			SpeedupTotal:             walk.StepMs / list.StepMs,
 			SpeedupSkin:              list.StepMs / skin.StepMs,
-			SpeedupFindNeighborsSkin: list.NsPerParticleStep["find_neighbors"] / skin.NsPerParticleStep["find_neighbors"],
+			SpeedupFindNeighborsSkin: list.NsPerParticleStep[sph.PassFindNeighbors] / skin.NsPerParticleStep[sph.PassFindNeighbors],
 		}
 		fmt.Printf(" %.1f ms/step (list %.2fx walk, skin %.2fx list, find_neighbors %.2fx)\n",
 			skin.StepMs, sr.SpeedupTotal, sr.SpeedupSkin, sr.SpeedupFindNeighborsSkin)
+		if len(sweepProcs) > 0 {
+			fmt.Printf("  gomaxprocs sweep %v on verlet-skin mode:\n", sweepProcs)
+			sr.Sweep = runSweep(nSide, *warmup, *steps, sweepProcs)
+		}
 		o.Sizes = append(o.Sizes, sr)
 	}
 
-	data, err := json.MarshalIndent(o, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := o.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if passMetrics != nil {
+		if err := passMetrics.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "sphbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pass latency histograms written to %s\n", *metricsOut)
+	}
 }

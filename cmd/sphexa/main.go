@@ -51,7 +51,9 @@ func main() {
 
 		traceOut    = flag.String("trace-out", "", "write the run timeline as Chrome trace_event JSON (open in Perfetto or chrome://tracing)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics JSON snapshot to this path")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text format on this address at /metrics during the run (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text format on this address at /metrics during the run (e.g. :9090); also mounts /metrics.json, /healthz and /debug/pprof/")
+		cpuProfile  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this path (per-pass samples carry a pass= pprof label)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this path at exit")
 
 		sampleHz     = flag.Float64("sample-hz", 0, "async per-GPU power sampling rate in Hz (0 disables sampling)")
 		sampleNodeHz = flag.Float64("sample-node-hz", sampler.DefaultNodeHz, "async node-sensor (BMC/pm_counters) sampling rate in Hz")
@@ -61,6 +63,12 @@ func main() {
 		degradation = flag.String("degradation", "", "rank-failure degradation policy: abort, drop-rank or redistribute (default abort)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		prof, err := telemetry.StartProfiler(*cpuProfile, *memProfile)
+		fatalIf(err)
+		defer func() { fatalIf(prof.Close()) }()
+	}
 
 	spec, err := sphenergy.SystemByName(*system)
 	fatalIf(err)
@@ -103,6 +111,7 @@ func main() {
 		cfg.Faults = plan
 	}
 	cfg.Degradation = *degradation
+	cfg.ProfileLabels = *cpuProfile != ""
 	if *metricsAddr != "" {
 		srv, err := telemetry.ServeMetrics(*metricsAddr, cfg.Metrics)
 		fatalIf(err)

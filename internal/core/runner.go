@@ -98,6 +98,12 @@ type Config struct {
 	// clock control when Faults is active; the zero value uses defaults
 	// (per-rank jitter seeds derived from Seed).
 	Resilience freqctl.ResilienceConfig
+	// ProfileLabels attaches a pprof label ("pass" = function name) to the
+	// coordinator goroutine around each pipeline phase, so CPU-profile
+	// samples group per pass in `go tool pprof -tags`. Off by default:
+	// pprof.Do allocates per call, which the hot loop should not pay unless
+	// a profile is actually being taken.
+	ProfileLabels bool
 }
 
 // Defaulted returns the config with defaults filled in.
@@ -431,22 +437,25 @@ func Run(cfg Config) (*Result, error) {
 			// Kernel execution on every rank, concurrently. Dead ranks are
 			// skipped by the world; load > 1 spreads failed ranks' particles
 			// over the survivors (DegradeRedistribute).
-			durs := world.Execute(func(r int) float64 {
-				rc := ranks[r]
-				if err := rc.strategy.Apply(rc.setter, fn.Name); err != nil {
-					reportErr(fmt.Errorf("core: strategy apply on rank %d: %w", r, err))
-					return 0
-				}
-				ran[r] = true
-				gpuStart[r] = rc.sensor.Read()
-				desc := fn.Kernel(cfg.ParticlesPerRank*load*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
-				if nbrRefresh && fn.Name == FnFindNeighbors {
-					desc.FlopsPerItem *= cfg.NeighborRefreshCost
-					desc.BytesPerItem *= cfg.NeighborRefreshCost
-				}
-				dur := rc.dev.Execute(desc)
-				rc.samp.Poll()
-				return dur
+			var durs []float64
+			telemetry.DoLabeled(cfg.ProfileLabels, "pass", fn.Name, func() {
+				durs = world.Execute(func(r int) float64 {
+					rc := ranks[r]
+					if err := rc.strategy.Apply(rc.setter, fn.Name); err != nil {
+						reportErr(fmt.Errorf("core: strategy apply on rank %d: %w", r, err))
+						return 0
+					}
+					ran[r] = true
+					gpuStart[r] = rc.sensor.Read()
+					desc := fn.Kernel(cfg.ParticlesPerRank*load*world.Jitter(r, cfg.JitterSpread), cfg.Ng, vendor)
+					if nbrRefresh && fn.Name == FnFindNeighbors {
+						desc.FlopsPerItem *= cfg.NeighborRefreshCost
+						desc.BytesPerItem *= cfg.NeighborRefreshCost
+					}
+					dur := rc.dev.Execute(desc)
+					rc.samp.Poll()
+					return dur
+				})
 			})
 			waits := world.Synchronize(durs)
 			rt.phaseWaits(waits)
@@ -466,6 +475,7 @@ func Run(cfg Config) (*Result, error) {
 
 			phaseEnd := world.MaxClock()
 			phaseS := phaseEnd - phaseStart
+			rt.functionTime(fn.Name, phaseS)
 
 			// Host energy for the phase, advanced once per node.
 			cpuBefore := make([]float64, len(system.Nodes))

@@ -28,6 +28,11 @@ type runTelemetry struct {
 	mpiWait        *telemetry.Counter
 	nbrRebuilds    *telemetry.Counter
 
+	// fnTime memoizes the per-function phase-latency histograms, labeled by
+	// function name and registered lazily on first observation (pipelines
+	// are not known until the loop runs). Coordinator-goroutine only.
+	fnTime map[string]*telemetry.Histogram
+
 	// Interned span identities for the per-phase spans, memoized per call
 	// site so the steady-state loop records through SpanRefs only. These
 	// maps are touched by the coordinator goroutine alone.
@@ -81,6 +86,9 @@ func newRunTelemetry(cfg Config) *runTelemetry {
 		"cumulative barrier wait time across all ranks")
 	rt.nbrRebuilds = rt.reg.Counter("neighbor_rebuilds_total",
 		"steps whose FindNeighbors phase rebuilt the neighbor candidate list")
+	if rt.reg != nil {
+		rt.fnTime = map[string]*telemetry.Histogram{}
+	}
 	if every := cfg.NeighborRebuildEvery; every > 1 {
 		rt.reg.Gauge("neighbor_rebuild_interval_steps",
 			"configured Verlet-skin rebuild cadence (1 = rebuild every step)").Set(float64(every))
@@ -280,6 +288,24 @@ func (rt *runTelemetry) phaseTailSpans(fn FuncModel, endS, commS, hostS float64)
 		}
 		rt.tr.CompleteRef(telemetry.GlobalTrack, ref, syncT+commS, hostS, 0, 0)
 	}
+}
+
+// functionTime observes one finished function phase's duration in the
+// per-function latency histogram, giving p50/p95/p99 per pipeline pass on
+// the exposition endpoints. Observed once per phase (not per rank): the
+// phase duration is global after the barrier.
+func (rt *runTelemetry) functionTime(name string, durS float64) {
+	if rt == nil || rt.reg == nil {
+		return
+	}
+	h, ok := rt.fnTime[name]
+	if !ok {
+		h = rt.reg.Histogram("function_time_s",
+			"virtual wall time per function phase (kernel + barrier + comm + host tail)",
+			telemetry.LatencyBuckets(), telemetry.L("function", name))
+		rt.fnTime[name] = h
+	}
+	h.Observe(durS)
 }
 
 // phaseWaits accounts the barrier wait times of one phase.

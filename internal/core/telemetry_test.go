@@ -94,10 +94,21 @@ func TestRunEmitsTelemetry(t *testing.T) {
 		"mpi_wait_s_total",
 		`energy_total_j{class="gpu"}`,
 		"wall_time_s",
+		`function_time_s_bucket{function="MomentumEnergy"`,
+		`function_time_s_quantile{function="MomentumEnergy",quantile="0.5"}`,
+		`freq_switch_latency_s_quantile`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics exposition missing %q", want)
 		}
+	}
+
+	// Per-function latency histogram: one observation per pipeline phase.
+	fnHist := cfg.Metrics.Histogram("function_time_s", "",
+		telemetry.LatencyBuckets(), telemetry.L("function", FnMomentum))
+	if got := fnHist.Count(); got != uint64(cfg.Steps) {
+		t.Errorf("function_time_s{%s} count = %d, want %d (one per step)",
+			FnMomentum, got, cfg.Steps)
 	}
 
 	// Telemetry must not change the physics: identical run without it.

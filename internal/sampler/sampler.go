@@ -216,6 +216,7 @@ type Channel struct {
 	mTicks    *telemetry.Counter
 	mDrops    *telemetry.Counter
 	mDegraded *telemetry.Counter
+	mGap      *telemetry.Histogram
 }
 
 // Name returns the channel's sensor label.
@@ -405,7 +406,8 @@ func (c *Channel) Poll() {
 	}
 	c.kahanAdd(deltaJ)
 	c.last = st
-	mPower, mEnergy, mTicks, mDrops, mDegraded := c.mPower, c.mEnergy, c.mTicks, c.mDrops, c.mDegraded
+	mPower, mEnergy, mTicks, mDrops, mDegraded, mGap :=
+		c.mPower, c.mEnergy, c.mTicks, c.mDrops, c.mDegraded, c.mGap
 	meanW := 0.0
 	if gap > 0 {
 		meanW = deltaJ / gap
@@ -418,6 +420,9 @@ func (c *Channel) Poll() {
 	// atomic and nil-safe.
 	if gap > 0 {
 		mPower.Set(meanW)
+		// Poll-gap distribution: the jitter view of the Stats mean/stddev
+		// summary, with p50/p95/p99 on the exposition endpoints.
+		mGap.Observe(gap)
 	}
 	mEnergy.Add(deltaJ)
 	mTicks.Add(float64(newTicks))
@@ -519,6 +524,9 @@ func (c *Channel) bind(reg *telemetry.Registry) {
 		"samples rotated out of the bounded ring per sensor", labels...)
 	c.mDegraded = reg.Counter("sampler_degraded_ticks_total",
 		"samples estimated under sensor degradation per sensor", labels...)
+	c.mGap = reg.Histogram("sampler_poll_gap_s",
+		"virtual-time gap between consecutive sensor polls (staleness/jitter)",
+		telemetry.LatencyBuckets(), labels...)
 	c.mu.Unlock()
 }
 

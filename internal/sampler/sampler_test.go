@@ -196,10 +196,38 @@ func TestBindMetrics(t *testing.T) {
 		`sampled_power_w{sensor="gpu0",rank="3"} 200`,
 		`sampled_energy_j_total{sensor="gpu0",rank="3"} 200`,
 		`sampler_ticks_total{sensor="gpu0",rank="3"} 11`,
+		`sampler_poll_gap_s_count{sensor="gpu0",rank="3"} 1`,
+		`sampler_poll_gap_s_sum{sensor="gpu0",rank="3"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestPollGapHistogram(t *testing.T) {
+	// Uneven poll cadence should land distinct gaps in the jitter histogram;
+	// the zero-gap double poll must not be observed.
+	sen := &scriptSensor{name: "fake", states: []pmt.State{
+		{TimeS: 0, EnergyJ: 0},
+		{TimeS: 0.10, EnergyJ: 10},
+		{TimeS: 0.10, EnergyJ: 10}, // double poll at a phase boundary
+		{TimeS: 0.40, EnergyJ: 40},
+	}}
+	s := New(Config{GPUHz: 10})
+	reg := telemetry.NewRegistry()
+	s.BindMetrics(reg)
+	ch := s.Add("gpu0", 0, sen, 10)
+	for range sen.states {
+		ch.Poll()
+	}
+	h := reg.Histogram("sampler_poll_gap_s", "", telemetry.LatencyBuckets(),
+		telemetry.L("sensor", "gpu0"), telemetry.L("rank", "0"))
+	if h.Count() != 2 {
+		t.Fatalf("gap observations = %d, want 2 (zero gaps excluded)", h.Count())
+	}
+	if !approx(h.Sum(), 0.4, 1e-9) {
+		t.Fatalf("gap sum = %g, want 0.4", h.Sum())
 	}
 }
 

@@ -221,6 +221,17 @@ type Options struct {
 	GravG     float64 // gravitational constant in simulation units
 	GravEps   float64 // softening length
 	GravTheta float64 // Barnes-Hut opening angle
+
+	// PassHook, when non-nil, is called by RunStep after each pipeline pass
+	// with the pass name (see PassNames) and its wall-clock duration in
+	// seconds. Nil skips the timing entirely — the uninstrumented step pays
+	// only a nil check per pass.
+	PassHook func(pass string, seconds float64)
+
+	// WrapPass, when non-nil, wraps each pass's execution in RunStep; it
+	// must invoke run exactly once. Used to attach pprof labels so CPU
+	// profile samples group per pass.
+	WrapPass func(pass string, run func())
 }
 
 // DefaultOptions returns the options used by the examples and tests.

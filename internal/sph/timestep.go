@@ -2,9 +2,52 @@ package sph
 
 import (
 	"math"
+	"time"
 
 	"sphenergy/internal/par"
 )
+
+// Pipeline pass names, in RunStep execution order. PassGravity only runs
+// when an extraAccel closure is supplied (Evrard self-gravity).
+const (
+	PassFindNeighbors  = "find_neighbors"
+	PassXMass          = "xmass"
+	PassGradh          = "gradh"
+	PassEOS            = "eos"
+	PassIAD            = "iad"
+	PassAVSwitches     = "av_switches"
+	PassMomentumEnergy = "momentum_energy"
+	PassGravity        = "gravity"
+	PassTimestep       = "timestep"
+	PassUpdate         = "update"
+)
+
+// PassNames lists the passes every RunStep executes, in order (excluding
+// the optional PassGravity). Benchmarks and per-pass metrics key on these.
+var PassNames = []string{
+	PassFindNeighbors, PassXMass, PassGradh, PassEOS, PassIAD,
+	PassAVSwitches, PassMomentumEnergy, PassTimestep, PassUpdate,
+}
+
+// pass runs one pipeline pass through the optional observability hooks:
+// WrapPass (outermost, pprof labels) and PassHook (wall-clock timing).
+// With both hooks nil it degenerates to a direct call.
+func (s *State) pass(name string, fn func()) {
+	run := fn
+	if h := s.Opt.PassHook; h != nil {
+		inner := run
+		run = func() {
+			t0 := time.Now()
+			inner()
+			h(name, time.Since(t0).Seconds())
+		}
+	}
+	if w := s.Opt.WrapPass; w != nil {
+		w(name, run)
+		return
+	}
+	run()
+}
 
 // Timestep computes the next CFL-limited timestep:
 //
@@ -69,18 +112,19 @@ func (s *State) RunStep(extraAccel func(p *Particles)) float64 {
 			s.LastReorderStep = s.Step
 		}
 	}
-	s.FindNeighbors()
-	s.XMass()
-	s.NormalizationGradh()
-	s.EquationOfState()
-	s.IADVelocityDivCurl()
-	s.AVSwitches(s.Dt)
-	s.MomentumEnergy()
+	s.pass(PassFindNeighbors, s.FindNeighbors)
+	s.pass(PassXMass, s.XMass)
+	s.pass(PassGradh, s.NormalizationGradh)
+	s.pass(PassEOS, s.EquationOfState)
+	s.pass(PassIAD, s.IADVelocityDivCurl)
+	s.pass(PassAVSwitches, func() { s.AVSwitches(s.Dt) })
+	s.pass(PassMomentumEnergy, s.MomentumEnergy)
 	if extraAccel != nil {
-		extraAccel(s.P)
+		s.pass(PassGravity, func() { extraAccel(s.P) })
 	}
-	dt := s.Timestep()
-	s.UpdateQuantities(dt)
+	var dt float64
+	s.pass(PassTimestep, func() { dt = s.Timestep() })
+	s.pass(PassUpdate, func() { s.UpdateQuantities(dt) })
 	return dt
 }
 

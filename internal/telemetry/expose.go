@@ -4,18 +4,20 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"time"
 )
 
 // Handler returns an http.Handler serving the registry: Prometheus text at
 // the request path (the conventional /metrics mount), or the JSON snapshot
-// when the client asks for it via "?format=json" or an Accept header of
-// application/json.
+// when the client asks for it via "?format=json" or an Accept header
+// containing application/json.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" ||
-			req.Header.Get("Accept") == "application/json" {
-			w.Header().Set("Content-Type", "application/json")
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			_ = r.WriteJSON(w)
 			return
 		}
@@ -35,9 +37,11 @@ type MetricsServer struct {
 func (s *MetricsServer) Close() error { return s.srv.Close() }
 
 // ServeMetrics starts an HTTP listener on addr exposing the registry at
-// /metrics (Prometheus text) and /metrics.json (JSON snapshot), for live
-// scraping during long runs. It returns once the listener is bound; serving
-// continues in a background goroutine until Close.
+// /metrics (Prometheus text) and /metrics.json (JSON snapshot), plus
+// /healthz for liveness probes and the standard net/http/pprof handlers
+// under /debug/pprof/ for on-demand profiling of long runs. It returns
+// once the listener is bound; serving continues in a background goroutine
+// until Close.
 func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -46,9 +50,18 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteJSON(w)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &MetricsServer{Addr: ln.Addr().String(), srv: srv}, nil

@@ -92,19 +92,26 @@ func atomicAdd(bits *atomic.Uint64, v float64) {
 // Histogram is a fixed-bucket distribution. Buckets are cumulative
 // upper-bound counts in Prometheus style; an implicit +Inf bucket catches
 // everything. A nil *Histogram is a valid no-op.
+//
+// The record path is lock-free and allocation-free: one inlined binary
+// search over the (immutable) upper bounds plus three atomic updates, so
+// per-pass latency recording can sit inside hot loops without perturbing
+// what it measures. Readers (scrapes, quantiles) see each observation's
+// bucket count, sum and total settle independently — a scrape racing a
+// recorder may be off by the in-flight observation, which fixed-rate
+// scraping tolerates by construction.
 type Histogram struct {
-	mu     sync.Mutex
-	upper  []float64 // sorted upper bounds, exclusive of +Inf
-	counts []uint64  // len(upper)+1; last is the +Inf bucket
-	sum    float64
-	total  uint64
+	upper  []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(upper)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	total  atomic.Uint64
 }
 
 // newHistogram builds a histogram over sorted upper bounds.
 func newHistogram(buckets []float64) *Histogram {
 	up := append([]float64(nil), buckets...)
 	sort.Float64s(up)
-	return &Histogram{upper: up, counts: make([]uint64, len(up)+1)}
+	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up)+1)}
 }
 
 // Observe records one sample.
@@ -112,12 +119,19 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
-	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
-	h.counts[i]++
-	h.sum += v
-	h.total++
-	h.mu.Unlock()
+	// First bucket with upper >= v; len(upper) is the +Inf bucket.
+	lo, hi := 0, len(h.upper)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.upper[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	atomicAdd(&h.sum, v)
+	h.total.Add(1)
 }
 
 // Count returns the number of observations.
@@ -125,9 +139,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
+	return h.total.Load()
 }
 
 // Sum returns the sum of observations.
@@ -135,24 +147,83 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	return math.Float64frombits(h.sum.Load())
 }
 
-// snapshot copies the histogram state (cumulative bucket counts).
+// snapshot copies the histogram state (cumulative bucket counts). The
+// reported total is the sum of the bucket counts, so bucket lines and the
+// _count line stay mutually consistent even when a scrape races recorders.
 func (h *Histogram) snapshot() (upper []float64, cumulative []uint64, sum float64, total uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	upper = append([]float64(nil), h.upper...)
+	upper = h.upper
 	cumulative = make([]uint64, len(h.counts))
 	running := uint64(0)
-	for i, c := range h.counts {
-		running += c
+	for i := range h.counts {
+		running += h.counts[i].Load()
 		cumulative[i] = running
 	}
-	return upper, cumulative, h.sum, h.total
+	return upper, cumulative, math.Float64frombits(h.sum.Load()), cumulative[len(cumulative)-1]
 }
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket counts
+// by linear interpolation inside the holding bucket — the same estimator
+// Prometheus' histogram_quantile applies server-side. The first bucket
+// interpolates from zero (or from its upper bound when that is negative),
+// and samples in the +Inf bucket clamp to the highest finite bound. NaN
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	upper, cum, _, total := h.snapshot()
+	return bucketQuantile(q, upper, cum, total)
+}
+
+// bucketQuantile interpolates a quantile from cumulative bucket counts.
+func bucketQuantile(q float64, upper []float64, cum []uint64, total uint64) float64 {
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := 0
+	for i < len(upper) && float64(cum[i]) < rank {
+		i++
+	}
+	if i >= len(upper) {
+		// +Inf bucket: no finite upper bound to interpolate toward.
+		if len(upper) == 0 {
+			return math.NaN()
+		}
+		return upper[len(upper)-1]
+	}
+	lower := 0.0
+	var below uint64
+	if i > 0 {
+		lower = upper[i-1]
+		below = cum[i-1]
+	} else if upper[0] <= 0 {
+		lower = upper[0]
+	}
+	inBucket := cum[i] - below
+	if inBucket == 0 {
+		return upper[i]
+	}
+	frac := (rank - float64(below)) / float64(inBucket)
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	return lower + (upper[i]-lower)*frac
+}
+
+// exposedQuantiles are the quantiles rendered into both exposition formats
+// for every histogram family (the tails tuning decisions read).
+var exposedQuantiles = []float64{0.5, 0.95, 0.99}
 
 // LinearBuckets returns n upper bounds start, start+width, ...
 func LinearBuckets(start, width float64, n int) []float64 {
@@ -173,6 +244,26 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	}
 	return out
 }
+
+// LogBuckets returns log-spaced upper bounds from min to max (inclusive)
+// with perDecade buckets per factor-of-ten — the fixed layout latency
+// histograms use so quantile resolution is a constant relative error
+// (~1/perDecade of a decade) across the whole range.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		return []float64{min, max}
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for v := min; v < max*(1-1e-12); v *= step {
+		out = append(out, v)
+	}
+	return append(out, max)
+}
+
+// LatencyBuckets is the standard wall-clock latency layout: 100 ns to 10 s,
+// four buckets per decade (≤ ~78% relative quantile error per bucket).
+func LatencyBuckets() []float64 { return LogBuckets(1e-7, 10, 4) }
 
 // metricKind tags a family's type for exposition.
 type metricKind int
@@ -348,6 +439,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(inf), total)
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(ch.labels), fmtFloat(sum))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(ch.labels), total)
+				if total > 0 {
+					// Pre-computed p50/p95/p99 as a sibling gauge family in
+					// summary style, so scrapers without histogram_quantile
+					// (and the JSON twin's consumers) read the same tails.
+					for _, q := range exposedQuantiles {
+						ql := append(append([]Label(nil), ch.labels...), L("quantile", fmtFloat(q)))
+						fmt.Fprintf(&b, "%s_quantile%s %s\n", f.name, renderLabels(ql),
+							fmtFloat(bucketQuantile(q, upper, cum, total)))
+					}
+				}
 			}
 		}
 	}
@@ -394,10 +495,12 @@ func fmtFloat(v float64) string {
 type SampleSnapshot struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value"`
-	// Histogram-only fields.
-	Sum     float64           `json:"sum,omitempty"`
-	Count   uint64            `json:"count,omitempty"`
-	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	// Histogram-only fields. Quantiles holds the estimated p50/p95/p99
+	// keyed by quantile ("0.5", "0.95", "0.99").
+	Sum       float64            `json:"sum,omitempty"`
+	Count     uint64             `json:"count,omitempty"`
+	Buckets   map[string]uint64  `json:"buckets,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // MetricSnapshot is one family in a JSON metrics snapshot.
@@ -439,6 +542,12 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 				}
 				s.Buckets["+Inf"] = total
 				s.Value = sum
+				if total > 0 {
+					s.Quantiles = map[string]float64{}
+					for _, q := range exposedQuantiles {
+						s.Quantiles[fmtFloat(q)] = bucketQuantile(q, upper, cum, total)
+					}
+				}
 			}
 			ms.Samples = append(ms.Samples, s)
 		}

@@ -1,0 +1,24 @@
+package telemetry
+
+// PassHistogramHook returns a hook with the sph.Options.PassHook shape
+// that records each pipeline pass's wall-clock latency into a per-pass
+// histogram (metric name with a "pass" label) on reg. Histograms are
+// registered lazily on a pass's first observation and re-registration is
+// idempotent, so one hook per run (or per mode) all feed the same series.
+// The returned hook must be called from a single goroutine — RunStep's
+// contract. A nil registry returns a nil hook, keeping the pipeline's
+// nil-check fast path.
+func PassHistogramHook(reg *Registry, metric, help string) func(pass string, seconds float64) {
+	if reg == nil {
+		return nil
+	}
+	hists := make(map[string]*Histogram)
+	return func(pass string, seconds float64) {
+		h, ok := hists[pass]
+		if !ok {
+			h = reg.Histogram(metric, help, LatencyBuckets(), L("pass", pass))
+			hists[pass] = h
+		}
+		h.Observe(seconds)
+	}
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPassHistogramHook(t *testing.T) {
+	r := NewRegistry()
+	hook := PassHistogramHook(r, "pass_seconds", "pass latency")
+	for i := 0; i < 5; i++ {
+		hook("momentum_energy", 0.002)
+		hook("find_neighbors", 0.004)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`pass_seconds_count{pass="momentum_energy"} 5`,
+		`pass_seconds_count{pass="find_neighbors"} 5`,
+		`pass_seconds_quantile{pass="find_neighbors",quantile="0.95"}`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+	// A second hook on the same registry must land in the same series.
+	hook2 := PassHistogramHook(r, "pass_seconds", "pass latency")
+	hook2("momentum_energy", 0.002)
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `pass_seconds_count{pass="momentum_energy"} 6`) {
+		t.Errorf("second hook did not merge into the same series:\n%s", sb.String())
+	}
+	if PassHistogramHook(nil, "x", "") != nil {
+		t.Error("nil registry must yield a nil hook")
+	}
+}

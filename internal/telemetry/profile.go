@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler manages runtime/pprof CPU and heap profile output for a run.
+// A nil Profiler (or one constructed with empty paths) is a no-op, keeping
+// the usual telemetry contract: uninstrumented runs pay only nil checks.
+type Profiler struct {
+	cpuFile  *os.File
+	heapPath string
+}
+
+// StartProfiler opens the requested profile outputs. cpuPath starts a CPU
+// profile immediately; heapPath records where to write the heap profile at
+// Close time (after a forced GC, so the snapshot reflects live objects).
+// Either path may be empty to skip that profile.
+func StartProfiler(cpuPath, heapPath string) (*Profiler, error) {
+	p := &Profiler{heapPath: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Close stops the CPU profile and writes the heap profile, if requested.
+// Safe to call on a nil Profiler.
+func (p *Profiler) Close() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("telemetry: close cpu profile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.heapPath != "" {
+		f, err := os.Create(p.heapPath)
+		if err != nil {
+			return fmt.Errorf("telemetry: create heap profile: %w", err)
+		}
+		runtime.GC() // get up-to-date live-object statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("telemetry: write heap profile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("telemetry: close heap profile: %w", err)
+		}
+		p.heapPath = ""
+	}
+	return nil
+}
+
+// DoLabeled runs fn with a pprof label attached to the goroutine, so CPU
+// profile samples taken inside fn are attributable per SPH pass (or any
+// other region) in `go tool pprof -tags`. When enabled is false it calls
+// fn directly — pprof.Do allocates a label set per call, which is too
+// expensive to leave on unconditionally in the per-pass hot path.
+func DoLabeled(enabled bool, key, value string, fn func()) {
+	if !enabled {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(key, value), func(context.Context) { fn() })
+}

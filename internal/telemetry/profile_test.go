@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestProfilerWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	p, err := StartProfiler(cpu, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	DoLabeled(true, "pass", "momentum_energy", func() {
+		for i := 0; i < 1e6; i++ {
+			x += float64(i) * 1e-9
+		}
+	})
+	_ = x
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, heap} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	// Idempotent close, nil safety.
+	if err := p.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	var np *Profiler
+	if err := np.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestDoLabeledDisabledRunsFn(t *testing.T) {
+	ran := false
+	DoLabeled(false, "pass", "x", func() { ran = true })
+	if !ran {
+		t.Error("disabled DoLabeled skipped fn")
+	}
+}
+
+func TestServeMetricsHealthzAndContentTypes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps_total", "").Add(3)
+	srv, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	// Browser-style Accept lists must still negotiate JSON.
+	req, _ := http.NewRequest("GET", base+"/metrics", nil)
+	req.Header.Set("Accept", "application/json, text/plain;q=0.9")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Accept-negotiated content type = %q", ct)
+	}
+	if !strings.Contains(string(body), `"steps_total"`) {
+		t.Errorf("JSON body missing metric:\n%s", body)
+	}
+
+	resp, err = http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+
+	// pprof index should be mounted on the same mux.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ = %d", resp.StatusCode)
+	}
+}
