@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet fmt-check test race race-energy race-faults bench bench-telemetry bench-json bench-sph bench-sph-smoke bench-gomaxprocs perfgate perfgate-smoke chaos chaos-smoke check experiments examples clean
+.PHONY: all build lint vet fmt-check test race race-energy race-faults bench bench-telemetry bench-json bench-sph bench-sph-smoke bench-gomaxprocs perfgate perfgate-smoke chaos chaos-smoke events-smoke check experiments examples clean
 
 all: build lint test
 
@@ -13,10 +13,11 @@ all: build lint test
 # SPH perf-harness smoke + pipeline-equivalence gate so the neighbor-list
 # fast path can't silently drift from the closure-walk reference, a
 # seeded chaos smoke proving the fault/degradation layer keeps the
-# measurement contract and stays bit-identical per seed, and the perf
+# measurement contract and stays bit-identical per seed, the perf
 # regression sentinel (perfgate-smoke) diffing a short bench run against
-# the committed BENCH_sph.json baseline.
-check: lint race race-energy race-faults bench-sph-smoke chaos-smoke perfgate-smoke
+# the committed BENCH_sph.json baseline, and the decision-ledger smoke
+# (events-smoke) proving a tuned run exports an auditable ledger.
+check: lint race race-energy race-faults bench-sph-smoke chaos-smoke perfgate-smoke events-smoke
 
 # lint is the static gate: go vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -120,6 +121,17 @@ bench-sph-smoke:
 	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline|Skin' -count=1 ./internal/sph/
 	$(GO) test -run 'ZeroSteadyStateAllocs|QueryZeroAllocs|IntoMatchesBuildGrid' -count=1 ./internal/neighbors/
 	$(GO) test -run xxx -bench 'SPHStep$$' -benchtime 1x ./...
+
+# Decision-observability gate for `check`: a tiny tuned run with the event
+# ledger on, exported as JSONL, then audited — declog must exit 0 with at
+# least one per-function decision row (it exits 1 on a decision-free
+# ledger, failing the target).
+events-smoke:
+	$(GO) run ./cmd/sphexa -sim turbulence -ranks 2 -s 3 -ppr 10e6 \
+		-strategy mandyn -sample-hz 100 -q \
+		-events-out /tmp/events_smoke.jsonl -report /tmp/events_smoke.json \
+		-trace-out /tmp/events_smoke.trace.json > /dev/null
+	$(GO) run ./cmd/declog -events /tmp/events_smoke.jsonl -report /tmp/events_smoke.json
 
 # Regenerate every table/figure at the paper's step counts.
 experiments:

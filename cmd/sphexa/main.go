@@ -21,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"sphenergy"
 	"sphenergy/internal/core"
@@ -51,7 +53,8 @@ func main() {
 
 		traceOut    = flag.String("trace-out", "", "write the run timeline as Chrome trace_event JSON (open in Perfetto or chrome://tracing)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics JSON snapshot to this path")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text format on this address at /metrics during the run (e.g. :9090); also mounts /metrics.json, /healthz and /debug/pprof/")
+		eventsOut   = flag.String("events-out", "", "write the decision ledger as JSONL to this path (audit with cmd/declog)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text format on this address at /metrics during the run (e.g. :9090); also mounts /metrics.json, /healthz, /debug/pprof/ and — when the decision ledger is on — /events (SSE) and /status")
 		cpuProfile  = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this path (per-pass samples carry a pass= pprof label)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this path at exit")
 
@@ -105,6 +108,11 @@ func main() {
 	if *metricsOut != "" || *metricsAddr != "" {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	if *eventsOut != "" || *metricsAddr != "" {
+		// The decision ledger: exported as JSONL for cmd/declog, and served
+		// live (SSE + status) when an HTTP listener is up anyway.
+		cfg.Events = sphenergy.NewEventLedger(0)
+	}
 	if *faultPlan != "" {
 		plan, err := faults.LoadPlan(*faultPlan)
 		fatalIf(err)
@@ -113,11 +121,52 @@ func main() {
 	cfg.Degradation = *degradation
 	cfg.ProfileLabels = *cpuProfile != ""
 	if *metricsAddr != "" {
-		srv, err := telemetry.ServeMetrics(*metricsAddr, cfg.Metrics)
+		var mounts []sphenergy.Mount
+		if cfg.Events != nil {
+			mounts = append(mounts,
+				sphenergy.Mount{Pattern: "/events", Handler: cfg.Events.SSEHandler()},
+				sphenergy.Mount{Pattern: "/status", Handler: cfg.Events.StatusHandler()})
+		}
+		srv, err := telemetry.ServeMetrics(*metricsAddr, cfg.Metrics, mounts...)
 		fatalIf(err)
 		defer srv.Close()
 		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr)
 	}
+
+	// On SIGINT/SIGTERM, flush the streaming outputs before dying so a
+	// cancelled job still leaves an analyzable partial trace, metrics
+	// snapshot and decision ledger on disk. The writers snapshot under
+	// their own locks, so flushing mid-step is safe; declog and tracetool
+	// both tolerate the truncated tail.
+	flushOutputs := func(w *os.File) {
+		if *traceOut != "" && cfg.Tracer != nil {
+			if err := cfg.Tracer.WriteFile(*traceOut); err == nil {
+				fmt.Fprintf(w, "trace written to %s (%d events)\n", *traceOut, cfg.Tracer.Len())
+			}
+		}
+		if *metricsOut != "" && cfg.Metrics != nil {
+			if err := cfg.Metrics.WriteFile(*metricsOut); err == nil {
+				fmt.Fprintf(w, "metrics written to %s\n", *metricsOut)
+			}
+		}
+		if *eventsOut != "" && cfg.Events != nil {
+			if err := cfg.Events.WriteFile(*eventsOut); err == nil {
+				fmt.Fprintf(w, "events written to %s (%d emitted)\n", *eventsOut, cfg.Events.Emitted())
+			}
+		}
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "sphexa: %v: flushing partial outputs\n", sig)
+		flushOutputs(os.Stderr)
+		code := 128 + int(syscall.SIGTERM)
+		if s, ok := sig.(syscall.Signal); ok {
+			code = 128 + int(s)
+		}
+		os.Exit(code)
+	}()
 
 	switch {
 	case *strategy == "baseline":
@@ -133,7 +182,10 @@ func main() {
 		fatalIf(err)
 		cfg.NewStrategy = func() sphenergy.Strategy { return freqctl.PowerCap{Watts: w} }
 	case *strategy == "mandyn":
-		table, err := sphenergy.TuneFrequencies(spec, sim, ppr, *ng)
+		// Observe the search through the ledger: sweep measurements become
+		// tuner events and the predicted time/power/EDP table rides on every
+		// frequency decision the run makes (cmd/declog joins the two).
+		table, err := sphenergy.TuneFrequenciesObserved(spec, sim, ppr, *ng, cfg.Events)
 		fatalIf(err)
 		fmt.Println("tuned per-function frequencies (MHz):")
 		for _, fn := range core.PipelineFunctionNames(sim) {
@@ -224,6 +276,10 @@ func main() {
 	if *metricsOut != "" {
 		fatalIf(cfg.Metrics.WriteFile(*metricsOut))
 		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *eventsOut != "" {
+		fatalIf(cfg.Events.WriteFile(*eventsOut))
+		fmt.Printf("events written to %s (%d emitted)\n", *eventsOut, cfg.Events.Emitted())
 	}
 }
 

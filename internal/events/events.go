@@ -1,0 +1,407 @@
+// Package events is the run's decision ledger: a bounded in-memory ring of
+// typed, sequence-numbered records for every consequential runtime decision
+// — frequency requests and outcomes, resilient-setter actions, tuner sweep
+// and cache choices, sampler degradation transitions, neighbor-list
+// rebuild/refresh triggers, rank failures — exportable as JSONL and
+// streamable live over SSE (see http.go).
+//
+// The ledger exists to make frequency control explainable after the fact:
+// each frequency event carries the model's *predicted* time/energy/EDP at
+// the applied clock (from the tuner sweep), so a ledger can later be joined
+// against internal/attrib achieved rows to ask "what did this decision cost
+// or save?" — the cmd/declog workflow.
+//
+// Non-perturbation contract (the same one internal/telemetry holds): a nil
+// *Ledger is a valid no-op, every emit is a pure observation with no effect
+// on simulation state, and the steady-state emit path performs no heap
+// allocation. Emit serializes on one short mutex — decision events are
+// per-phase, not per-particle, so the ring never sits on a per-item hot
+// loop.
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Type names a decision-event kind.
+type Type string
+
+// Event types. The freq-* family mirrors freqctl: a decision is one
+// strategy Apply that touched the clock; retry/absorb/clamp/breaker-trip/
+// short-circuit mirror freqctl.ResilientEvent kinds.
+const (
+	RunStart Type = "run-start"
+	RunEnd   Type = "run-end"
+	StepDone Type = "step"
+
+	FreqDecision     Type = "freq-decision"
+	FreqRetry        Type = "freq-retry"
+	FreqAbsorb       Type = "freq-absorb"
+	FreqClamp        Type = "freq-clamp"
+	FreqBreakerTrip  Type = "freq-breaker-trip"
+	FreqShortCircuit Type = "freq-short-circuit"
+
+	TunerMeasure Type = "tuner-measure"
+	TunerSelect  Type = "tuner-select"
+
+	SamplerDegraded  Type = "sampler-degraded"
+	SamplerRecovered Type = "sampler-recovered"
+
+	RankFail    Type = "rank-fail"
+	Degradation Type = "degradation"
+
+	NbrRebuild Type = "nbr-rebuild"
+	NbrRefresh Type = "nbr-refresh"
+)
+
+// builtinTypes pre-seeds the per-type counters so steady-state emits never
+// insert a new map key (the allocation-free contract).
+var builtinTypes = []Type{
+	RunStart, RunEnd, StepDone,
+	FreqDecision, FreqRetry, FreqAbsorb, FreqClamp, FreqBreakerTrip,
+	FreqShortCircuit, TunerMeasure, TunerSelect,
+	SamplerDegraded, SamplerRecovered, RankFail, Degradation,
+	NbrRebuild, NbrRefresh,
+}
+
+// Event is one ledger record. Fields are a flat union across the event
+// types so records stay fixed-size values (emit copies them into the ring
+// without allocating); unused fields marshal away under omitempty.
+type Event struct {
+	// Seq is the monotonic sequence id, starting at 1. Assigned by Emit.
+	Seq uint64 `json:"seq"`
+	// TimeS is the virtual time of the decision (0 for pre-run events).
+	TimeS float64 `json:"t_s"`
+	// Step is the simulation step, -1 outside the stepping loop.
+	Step int `json:"step"`
+	// Rank is the deciding rank, -1 for global/coordinator events.
+	Rank int  `json:"rank"`
+	Type Type `json:"type"`
+	// Subject is what the decision is about: a function/kernel name for
+	// frequency and tuner events, a sensor name for sampler events.
+	Subject string `json:"subject,omitempty"`
+	// Detail carries the cause or sub-kind: the resilient op, the rebuild
+	// trigger ("cadence", "drift", ...), the degradation policy.
+	Detail string `json:"detail,omitempty"`
+	// RequestedMHz / AppliedMHz are the strategy's target and the achieved
+	// clock (post-clamp) for frequency events; AppliedMHz doubles as the
+	// candidate clock on tuner events.
+	RequestedMHz int `json:"requested_mhz,omitempty"`
+	AppliedMHz   int `json:"applied_mhz,omitempty"`
+	// Pred* are the model's expectations at AppliedMHz — per kernel
+	// invocation — filled from the tuner sweep (SetPredictions). On
+	// tuner-measure events they are the sweep measurement itself.
+	PredTimeS   float64 `json:"pred_time_s,omitempty"`
+	PredEnergyJ float64 `json:"pred_energy_j,omitempty"`
+	PredPowerW  float64 `json:"pred_power_w,omitempty"`
+	PredEDPJs   float64 `json:"pred_edp_js,omitempty"`
+	// Value is a generic numeric payload: step energy (J) on step events,
+	// objective score on tuner events, load factor on degradation events.
+	Value float64 `json:"value,omitempty"`
+	// Cached marks tuner measurements served from the memoizing cache.
+	Cached bool `json:"cached,omitempty"`
+	// Err carries the triggering error text on resilience events.
+	Err string `json:"err,omitempty"`
+}
+
+// Prediction is the model's expectation for one kernel at one clock.
+type Prediction struct {
+	TimeS   float64
+	EnergyJ float64
+	PowerW  float64
+	EDPJs   float64
+}
+
+// Predictions maps kernel/function name → clock MHz → expectation.
+type Predictions map[string]map[int]Prediction
+
+// Summary is the ledger roll-up attached to core.Result.
+type Summary struct {
+	// Emitted counts all events ever emitted; Dropped counts those rotated
+	// out of the bounded ring (Emitted - retained).
+	Emitted uint64 `json:"emitted"`
+	Dropped uint64 `json:"dropped"`
+	// ByType breaks Emitted down per event type (zero entries omitted).
+	ByType map[Type]uint64 `json:"by_type"`
+}
+
+// DefaultCap is the default ring capacity: at the paper's ~100 steps a
+// ManDyn run emits a few thousand decision events, so the full run is
+// retained with room to spare.
+const DefaultCap = 1 << 15
+
+// Ledger is the bounded decision-event ring. Safe for concurrent use; a
+// nil *Ledger is a valid no-op on every method.
+type Ledger struct {
+	mu     sync.Mutex
+	buf    []Event // ring storage, len == cap once warm
+	capN   int
+	next   uint64 // total emitted; the next event gets Seq next+1
+	counts map[Type]uint64
+	preds  Predictions
+	status Status
+	subs   []chan struct{}
+}
+
+// NewLedger creates a ledger retaining the last capacity events
+// (DefaultCap when <= 0).
+func NewLedger(capacity int) *Ledger {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	l := &Ledger{
+		capN:   capacity,
+		buf:    make([]Event, 0, capacity),
+		counts: make(map[Type]uint64, len(builtinTypes)),
+	}
+	for _, t := range builtinTypes {
+		l.counts[t] = 0
+	}
+	l.status.Step = -1
+	return l
+}
+
+// SetPredictions installs the tuner's per-kernel per-clock expectations;
+// subsequent FreqDecision emits carry the matching prediction. Call before
+// the run starts.
+func (l *Ledger) SetPredictions(p Predictions) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.preds = p
+	l.mu.Unlock()
+}
+
+// Emit appends one event, assigning its sequence id. The event value is
+// copied into the ring; steady-state emits do not allocate.
+func (l *Ledger) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.emitLocked(ev)
+	l.mu.Unlock()
+}
+
+// emitLocked is Emit's body; caller holds l.mu.
+func (l *Ledger) emitLocked(ev Event) {
+	l.next++
+	ev.Seq = l.next
+	if len(l.buf) < l.capN {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[int((ev.Seq-1)%uint64(l.capN))] = ev
+	}
+	l.counts[ev.Type]++
+	l.status.apply(ev)
+	for _, ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// FreqDecision records one strategy Apply that touched the clock,
+// attaching the model's prediction at the applied clock when one is known.
+func (l *Ledger) FreqDecision(timeS float64, step, rank int, function string, requestedMHz, appliedMHz int) {
+	if l == nil {
+		return
+	}
+	ev := Event{
+		TimeS: timeS, Step: step, Rank: rank, Type: FreqDecision,
+		Subject: function, RequestedMHz: requestedMHz, AppliedMHz: appliedMHz,
+	}
+	l.mu.Lock()
+	if byClock, ok := l.preds[function]; ok {
+		if p, ok := byClock[appliedMHz]; ok {
+			ev.PredTimeS = p.TimeS
+			ev.PredEnergyJ = p.EnergyJ
+			ev.PredPowerW = p.PowerW
+			ev.PredEDPJs = p.EDPJs
+		}
+	}
+	l.emitLocked(ev)
+	l.mu.Unlock()
+}
+
+// Emitted returns the total number of events emitted so far.
+func (l *Ledger) Emitted() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Len returns the number of retained events.
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Summary returns the ledger roll-up (only non-zero type counts).
+func (l *Ledger) Summary() *Summary {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := &Summary{Emitted: l.next, ByType: make(map[Type]uint64)}
+	if n := uint64(len(l.buf)); l.next > n {
+		s.Dropped = l.next - n
+	}
+	for t, c := range l.counts {
+		if c > 0 {
+			s.ByType[t] = c
+		}
+	}
+	return s
+}
+
+// ReadSince appends to dst every retained event with Seq > after, in
+// sequence order, and reports whether a gap precedes them (events after
+// `after` already rotated out of the ring).
+func (l *Ledger) ReadSince(after uint64, dst []Event) ([]Event, bool) {
+	if l == nil {
+		return dst, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := uint64(1)
+	if n := uint64(len(l.buf)); l.next > n {
+		oldest = l.next - n + 1
+	}
+	from := after + 1
+	gap := false
+	if from < oldest {
+		from = oldest
+		gap = true
+	}
+	for seq := from; seq <= l.next; seq++ {
+		dst = append(dst, l.buf[int((seq-1)%uint64(l.capN))])
+	}
+	return dst, gap
+}
+
+// Events returns a copy of all retained events in sequence order.
+func (l *Ledger) Events() []Event {
+	out, _ := l.ReadSince(0, nil)
+	return out
+}
+
+// Subscribe registers a notification channel that receives (at least) one
+// token after every Emit; pair with ReadSince to stream without polling.
+func (l *Ledger) Subscribe() chan struct{} {
+	if l == nil {
+		return nil
+	}
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.subs = append(l.subs, ch)
+	l.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a channel registered by Subscribe.
+func (l *Ledger) Unsubscribe(ch chan struct{}) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	for i, s := range l.subs {
+		if s == ch {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Subscribers returns the number of live subscriptions (test hook for the
+// clean-unsubscribe contract).
+func (l *Ledger) Subscribers() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.subs)
+}
+
+// WriteJSONL writes every retained event as one JSON object per line, in
+// sequence order.
+func (l *Ledger) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("events: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the JSONL export to path.
+func (l *Ledger) WriteFile(path string) error {
+	if l == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+	if err := l.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL parses a ledger export. A malformed tail (a run killed
+// mid-write) stops the parse at the last valid line and reports
+// truncated=true rather than erroring — interrupted runs must stay
+// auditable.
+func ReadJSONL(r io.Reader) (evs []Event, truncated bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if uerr := json.Unmarshal(line, &ev); uerr != nil {
+			return evs, true, nil
+		}
+		evs = append(evs, ev)
+	}
+	if serr := sc.Err(); serr != nil {
+		return evs, true, fmt.Errorf("events: read: %w", serr)
+	}
+	return evs, false, nil
+}
+
+// ReadFile parses a JSONL ledger export from path.
+func ReadFile(path string) ([]Event, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("events: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

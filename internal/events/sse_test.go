@@ -1,0 +1,190 @@
+package events
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readSSE consumes the stream until n event ids have been seen (or the
+// stream ends), returning the ids in arrival order.
+func readSSE(t *testing.T, resp *http.Response, n int) []uint64 {
+	t.Helper()
+	var ids []uint64
+	sc := bufio.NewScanner(resp.Body)
+	for len(ids) < n && sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "id: ") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+		if err != nil {
+			t.Errorf("bad SSE id line %q: %v", line, err)
+			return ids
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// waitSubscribers polls until the ledger has exactly n live subscriptions.
+func waitSubscribers(t *testing.T, l *Ledger, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Subscribers() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscribers = %d, want %d after 5s", l.Subscribers(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSSEConcurrentSubscribers is the -race gate for the streaming path: a
+// writer goroutine emits while two subscribers stream; both must observe
+// every event exactly once, in order, with no gaps, and disconnecting must
+// cleanly unsubscribe both.
+func TestSSEConcurrentSubscribers(t *testing.T) {
+	const total = 400
+	l := NewLedger(4 * total)
+	srv := httptest.NewServer(l.SSEHandler())
+	defer srv.Close()
+
+	subscribe := func() *http.Response {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	r1, r2 := subscribe(), subscribe()
+	waitSubscribers(t, l, 2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			l.FreqDecision(float64(i), i, i%2, "MomentumEnergy", 1110, 1110)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	check := func(resp *http.Response, label string) {
+		defer wg.Done()
+		ids := readSSE(t, resp, total)
+		if len(ids) != total {
+			t.Errorf("%s: received %d events, want %d", label, len(ids), total)
+			return
+		}
+		for i, id := range ids {
+			if want := uint64(i + 1); id != want {
+				t.Errorf("%s: event %d has seq %d, want %d (gap or reorder)", label, i, id, want)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go check(r1, "subscriber 1")
+	go check(r2, "subscriber 2")
+	wg.Wait()
+	<-done
+
+	// Client disconnect must tear the subscription down.
+	r1.Body.Close()
+	r2.Body.Close()
+	// The handler only notices the closed context at its next wakeup.
+	l.Emit(Event{Type: StepDone})
+	waitSubscribers(t, l, 0)
+}
+
+func TestSSELastEventIDResume(t *testing.T) {
+	l := NewLedger(0)
+	for i := 0; i < 10; i++ {
+		l.FreqDecision(float64(i), i, 0, "IAD", 1005, 1005)
+	}
+	srv := httptest.NewServer(l.SSEHandler())
+	defer srv.Close()
+
+	req, err := http.NewRequest("GET", srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	ids := readSSE(t, resp, 5)
+	want := []uint64{6, 7, 8, 9, 10}
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Errorf("resumed ids = %v, want %v", ids, want)
+	}
+}
+
+func TestSSEGapCommentAfterOverflow(t *testing.T) {
+	l := NewLedger(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Type: StepDone, Step: i})
+	}
+	srv := httptest.NewServer(l.SSEHandler())
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set("Last-Event-ID", "2") // rotated out: oldest retained is 7
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sawGap := false
+	var first uint64
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ": gap") {
+			sawGap = true
+		}
+		if strings.HasPrefix(line, "id: ") {
+			first, _ = strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			break
+		}
+	}
+	if !sawGap {
+		t.Error("no gap comment despite resuming past the ring horizon")
+	}
+	if first != 7 {
+		t.Errorf("first resumed seq = %d, want 7 (oldest retained)", first)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	l := NewLedger(0)
+	l.BeginRun("turbulence", "minihpc", "mandyn", 2, 5)
+	l.StepDone(1.5, 0, 100)
+	srv := httptest.NewServer(l.StatusHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+	}
+	body := sb.String()
+	for _, want := range []string{`"running": true`, `"strategy": "mandyn"`, `"step": 0`, `"energy_j": 100`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status JSON missing %s in %s", want, body)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package events
+
+// Status is the compact live-run summary served at GET /status: where the
+// run is, what the clocks are, the rolling EDP, and the degradation state.
+// The ledger maintains it incrementally from the events themselves.
+type Status struct {
+	Running    bool   `json:"running"`
+	Simulation string `json:"simulation,omitempty"`
+	System     string `json:"system,omitempty"`
+	Strategy   string `json:"strategy,omitempty"`
+	// Steps is the configured step count; Step the last completed step
+	// (-1 before the first).
+	Steps int `json:"steps,omitempty"`
+	Step  int `json:"step"`
+	// TimeS and EnergyJ accumulate over the stepping loop; EDPJs is their
+	// rolling product (the paper's objective, live).
+	TimeS   float64 `json:"t_s"`
+	EnergyJ float64 `json:"energy_j"`
+	EDPJs   float64 `json:"edp_js"`
+	// RankClocksMHz is the last applied SM clock per rank (0 = untouched).
+	RankClocksMHz []int `json:"rank_clocks_mhz,omitempty"`
+	// DegradedChannels counts sampler channels currently running on
+	// estimated (failover/model) data.
+	DegradedChannels int `json:"degraded_channels,omitempty"`
+	// FailedRanks lists dead ranks; LoadFactor is the survivor load
+	// multiplier under redistribution (1 when healthy).
+	FailedRanks []int   `json:"failed_ranks,omitempty"`
+	LoadFactor  float64 `json:"load_factor,omitempty"`
+	// Emitted mirrors Summary.Emitted for stream consumers.
+	Emitted uint64 `json:"events_emitted"`
+}
+
+// apply folds one event into the live status; caller holds the ledger
+// mutex.
+func (s *Status) apply(ev Event) {
+	s.Emitted = ev.Seq
+	switch ev.Type {
+	case RunStart:
+		s.Running = true
+		s.Step = -1
+	case RunEnd:
+		s.Running = false
+		s.TimeS = ev.TimeS
+		s.EDPJs = s.EnergyJ * s.TimeS
+	case StepDone:
+		s.Step = ev.Step
+		s.TimeS = ev.TimeS
+		s.EnergyJ += ev.Value
+		s.EDPJs = s.EnergyJ * s.TimeS
+	case FreqDecision:
+		if ev.Rank >= 0 {
+			for len(s.RankClocksMHz) <= ev.Rank {
+				s.RankClocksMHz = append(s.RankClocksMHz, 0)
+			}
+			s.RankClocksMHz[ev.Rank] = ev.AppliedMHz
+		}
+	case SamplerDegraded:
+		s.DegradedChannels++
+	case SamplerRecovered:
+		if s.DegradedChannels > 0 {
+			s.DegradedChannels--
+		}
+	case RankFail:
+		s.FailedRanks = append(s.FailedRanks, ev.Rank)
+	case Degradation:
+		s.LoadFactor = ev.Value
+	}
+}
+
+// BeginRun stamps the run's identity into the live status and emits the
+// run-start event. RankClocksMHz is pre-sized so steady-state frequency
+// events never grow it.
+func (l *Ledger) BeginRun(sim, system, strategy string, ranks, steps int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.status.Simulation = sim
+	l.status.System = system
+	l.status.Strategy = strategy
+	l.status.Steps = steps
+	l.status.LoadFactor = 1
+	if ranks > 0 {
+		l.status.RankClocksMHz = make([]int, ranks)
+	}
+	l.emitLocked(Event{Step: -1, Rank: -1, Type: RunStart,
+		Subject: sim, Detail: strategy, Value: float64(steps)})
+	l.mu.Unlock()
+}
+
+// StepDone closes one simulation step: stepEnergyJ is the step's
+// allocation energy, timeS the loop virtual time at the step boundary.
+func (l *Ledger) StepDone(timeS float64, step int, stepEnergyJ float64) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{TimeS: timeS, Step: step, Rank: -1, Type: StepDone,
+		Value: stepEnergyJ})
+}
+
+// EndRun emits the run-end event and freezes the status.
+func (l *Ledger) EndRun(timeS float64) {
+	if l == nil {
+		return
+	}
+	l.Emit(Event{TimeS: timeS, Step: -1, Rank: -1, Type: RunEnd})
+}
+
+// Status returns a snapshot of the live run summary.
+func (l *Ledger) Status() Status {
+	if l == nil {
+		return Status{Step: -1}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.status
+	st.RankClocksMHz = append([]int(nil), l.status.RankClocksMHz...)
+	st.FailedRanks = append([]int(nil), l.status.FailedRanks...)
+	return st
+}

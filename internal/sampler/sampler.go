@@ -198,6 +198,8 @@ type Channel struct {
 	prevDegraded bool // previous poll was degraded (flags the recovery window)
 	secLast      pmt.State
 	secStarted   bool
+	estMode      string         // how the last degraded read was estimated
+	onTransition TransitionFunc // fired on degraded<->healthy edges (may be nil)
 
 	// stats
 	polls         uint64
@@ -292,9 +294,11 @@ func (c *Channel) classify(st pmt.State) bool {
 // delta when one is configured and answering, otherwise an extrapolation
 // of the last observed tick power; caller holds c.mu.
 func (c *Channel) estimate(raw pmt.State) pmt.State {
+	c.estMode = "model-extrapolation"
 	if c.secondary != nil {
 		sec := c.secondary.Read()
 		if !math.IsNaN(sec.EnergyJ) && !math.IsNaN(sec.TimeS) {
+			c.estMode = "secondary-failover"
 			c.failovers++
 			if !c.secStarted {
 				c.secStarted = true
@@ -350,8 +354,16 @@ func (c *Channel) Poll() {
 	}
 	// The first good poll after an outage also carries the flag: its ticks
 	// span the unobserved window.
+	transition := degraded != c.prevDegraded
 	flag := degraded || c.prevDegraded
 	c.prevDegraded = degraded
+	if transition && c.onTransition != nil {
+		detail := "primary-restored"
+		if degraded {
+			detail = c.estMode
+		}
+		c.onTransition(c.name, c.rank, degraded, detail)
+	}
 	gap := st.TimeS - c.last.TimeS
 	if gap < 0 {
 		// Sensor time went backwards (should not happen); resynchronize.
@@ -530,12 +542,33 @@ func (c *Channel) bind(reg *telemetry.Registry) {
 	c.mu.Unlock()
 }
 
+// TransitionFunc observes a channel crossing a degradation edge: degraded
+// is true when the channel just lost its primary (detail names the
+// estimation mode — "secondary-failover" or "model-extrapolation") and
+// false when the primary came back ("primary-restored"). The callback runs
+// under the channel's mutex on the polling goroutine, so it must be cheap
+// and must not re-enter the channel.
+type TransitionFunc func(name string, rank int, degraded bool, detail string)
+
 // Sampler owns a set of channels. A nil *Sampler is a valid no-op.
 type Sampler struct {
 	mu       sync.Mutex
 	cfg      Config
 	channels []*Channel
 	reg      *telemetry.Registry
+	onTrans  TransitionFunc
+}
+
+// SetTransitionSink installs a callback fired whenever a channel enters or
+// leaves degradation. Only channels added after the call observe it; set
+// the sink before AddRank/AddNode.
+func (s *Sampler) SetTransitionSink(fn TransitionFunc) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onTrans = fn
+	s.mu.Unlock()
 }
 
 // New creates a sampler with the given (defaulted) config.
@@ -564,13 +597,17 @@ func (s *Sampler) Add(name string, rank int, sensor pmt.Sensor, hz float64) *Cha
 	if hz <= 0 {
 		hz = DefaultNodeHz
 	}
+	s.mu.Lock()
+	onTrans := s.onTrans
+	s.mu.Unlock()
 	ch := &Channel{
-		name:       name,
-		rank:       rank,
-		sensor:     sensor,
-		periodS:    1 / hz,
-		cap:        s.cfg.RingCap,
-		stuckPolls: s.cfg.StuckPolls,
+		name:         name,
+		rank:         rank,
+		sensor:       sensor,
+		periodS:      1 / hz,
+		cap:          s.cfg.RingCap,
+		stuckPolls:   s.cfg.StuckPolls,
+		onTransition: onTrans,
 	}
 	s.mu.Lock()
 	s.channels = append(s.channels, ch)

@@ -232,6 +232,13 @@ type Options struct {
 	// must invoke run exactly once. Used to attach pprof labels so CPU
 	// profile samples group per pass.
 	WrapPass func(pass string, run func())
+
+	// NeighborEvent, when non-nil, observes every FindNeighbors outcome in
+	// list mode with the step index and the trigger kind: "init", "cadence",
+	// "drift" or "overflow" for candidate rebuilds (matching the NbrStats
+	// cause counters) and "refresh" for a Verlet-skin refresh. Nil costs a
+	// single check; the closure-walk pipeline never fires it.
+	NeighborEvent func(step int, kind string)
 }
 
 // DefaultOptions returns the options used by the examples and tests.

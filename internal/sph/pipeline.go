@@ -27,13 +27,14 @@ func (s *State) FindNeighbors() {
 		s.MaxH = s.buildNeighborList(maxH)
 		s.NbrStats.Rebuilds++
 		s.NbrStats.RebuildInit++
+		s.neighborEvent("init")
 		return
 	}
 	// Verlet-skin path: reuse the cached candidate list when it still
 	// covers every support sphere, rebuild otherwise.
 	nl := s.List
 	if nl == nil || !nl.refsOK {
-		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildInit)
+		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildInit, "init")
 		return
 	}
 	if !nl.candsOK {
@@ -42,27 +43,36 @@ func (s *State) FindNeighbors() {
 		s.regenCandidates()
 	}
 	if re := s.Opt.RebuildEvery; re > 0 && s.Step-nl.BuildStep >= re {
-		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildCadence)
+		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildCadence, "cadence")
 		return
 	}
 	if !s.skinValid(maxH) {
-		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildDrift)
+		s.rebuildWithSkin(maxH, &s.NbrStats.RebuildDrift, "drift")
 		return
 	}
 	if newMax, ok := s.refreshSkin(maxH); ok {
 		s.NbrStats.Refreshes++
 		s.MaxH = newMax
+		s.neighborEvent("refresh")
 		return
 	}
-	s.rebuildWithSkin(maxH, &s.NbrStats.RebuildOverflow)
+	s.rebuildWithSkin(maxH, &s.NbrStats.RebuildOverflow, "overflow")
 }
 
 // rebuildWithSkin runs a candidate rebuild and charges it to the given
 // cause counter.
-func (s *State) rebuildWithSkin(maxH float64, cause *int) {
+func (s *State) rebuildWithSkin(maxH float64, cause *int, kind string) {
 	s.MaxH = s.rebuildSkin(maxH)
 	s.NbrStats.Rebuilds++
 	*cause++
+	s.neighborEvent(kind)
+}
+
+// neighborEvent forwards a FindNeighbors outcome to the configured hook.
+func (s *State) neighborEvent(kind string) {
+	if s.Opt.NeighborEvent != nil {
+		s.Opt.NeighborEvent(s.Step, kind)
+	}
 }
 
 // countAndUpdateH is the closure-walk neighbor pass: count neighbors at the

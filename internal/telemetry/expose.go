@@ -36,13 +36,21 @@ type MetricsServer struct {
 // Close shuts the listener down.
 func (s *MetricsServer) Close() error { return s.srv.Close() }
 
+// Mount attaches an extra handler to the metrics server's mux — the hook
+// other observability surfaces (the event ledger's /events SSE stream and
+// /status summary) use to ride on the same listener.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeMetrics starts an HTTP listener on addr exposing the registry at
 // /metrics (Prometheus text) and /metrics.json (JSON snapshot), plus
 // /healthz for liveness probes and the standard net/http/pprof handlers
-// under /debug/pprof/ for on-demand profiling of long runs. It returns
-// once the listener is bound; serving continues in a background goroutine
-// until Close.
-func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
+// under /debug/pprof/ for on-demand profiling of long runs. Extra mounts
+// are attached to the same mux. It returns once the listener is bound;
+// serving continues in a background goroutine until Close.
+func ServeMetrics(addr string, r *Registry, extra ...Mount) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -62,6 +70,9 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &MetricsServer{Addr: ln.Addr().String(), srv: srv}, nil

@@ -26,18 +26,55 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the degenerate inputs to defined,
+// finite values: empty, nil, NaN-q, single-observation and all-in-overflow
+// histograms must never produce NaN (which would fail JSON encoding) or
+// panic.
 func TestHistogramQuantileEdgeCases(t *testing.T) {
 	h := newHistogram([]float64{1, 10})
-	if !math.IsNaN(h.Quantile(0.5)) {
-		t.Error("empty histogram quantile should be NaN")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("NaN-q quantile = %v, want 0", got)
 	}
 	h.Observe(500) // +Inf bucket only
 	if got := h.Quantile(0.5); got != 10 {
 		t.Errorf("all-overflow quantile = %v, want clamp to highest bound 10", got)
 	}
 	var nilH *Histogram
-	if !math.IsNaN(nilH.Quantile(0.5)) {
-		t.Error("nil histogram quantile should be NaN")
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+
+	// A single observation: every quantile lands in its bucket, finite.
+	one := newHistogram([]float64{1, 10})
+	one.Observe(5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := one.Quantile(q)
+		if math.IsNaN(got) || got < 1 || got > 10 {
+			t.Errorf("single-observation Quantile(%v) = %v, want within (1,10]", q, got)
+		}
+	}
+
+	// No finite buckets at all: defined, not NaN.
+	if got := bucketQuantile(0.5, nil, []uint64{3}, 3); got != 0 {
+		t.Errorf("bucketless quantile = %v, want 0", got)
+	}
+}
+
+// TestEmptyHistogramSurvivesJSON is the regression the edge cases guard: a
+// registry holding a never-observed histogram must still marshal (NaN
+// quantiles would make encoding/json error out).
+func TestEmptyHistogramSurvivesJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("never_observed_s", "", LinearBuckets(10, 10, 3))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("empty histogram broke the JSON snapshot: %v", err)
+	}
+	if !strings.Contains(buf.String(), "never_observed_s") {
+		t.Error("empty histogram missing from the snapshot")
 	}
 }
 

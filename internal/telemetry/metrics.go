@@ -168,11 +168,15 @@ func (h *Histogram) snapshot() (upper []float64, cumulative []uint64, sum float6
 // by linear interpolation inside the holding bucket — the same estimator
 // Prometheus' histogram_quantile applies server-side. The first bucket
 // interpolates from zero (or from its upper bound when that is negative),
-// and samples in the +Inf bucket clamp to the highest finite bound. NaN
-// when the histogram is empty.
+// and samples in the +Inf bucket clamp to the highest finite bound.
+//
+// Every input has a defined, finite result — never NaN: a nil or empty
+// histogram (and a NaN q) reports 0, matching Count() == 0, so quantile
+// values always survive JSON encoding (encoding/json rejects NaN) and never
+// poison downstream arithmetic.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
-		return math.NaN()
+		return 0
 	}
 	upper, cum, _, total := h.snapshot()
 	return bucketQuantile(q, upper, cum, total)
@@ -181,7 +185,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 // bucketQuantile interpolates a quantile from cumulative bucket counts.
 func bucketQuantile(q float64, upper []float64, cum []uint64, total uint64) float64 {
 	if total == 0 || math.IsNaN(q) {
-		return math.NaN()
+		return 0
 	}
 	if q < 0 {
 		q = 0
@@ -196,7 +200,7 @@ func bucketQuantile(q float64, upper []float64, cum []uint64, total uint64) floa
 	if i >= len(upper) {
 		// +Inf bucket: no finite upper bound to interpolate toward.
 		if len(upper) == 0 {
-			return math.NaN()
+			return 0
 		}
 		return upper[len(upper)-1]
 	}

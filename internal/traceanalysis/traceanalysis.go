@@ -14,6 +14,7 @@
 package traceanalysis
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -329,8 +330,76 @@ func Load(data []byte) ([]Span, error) {
 	if err := json.Unmarshal(data, &tf); err != nil {
 		return nil, fmt.Errorf("traceanalysis: parse trace: %w", err)
 	}
+	return spansFromEvents(tf.TraceEvents), nil
+}
+
+// LoadLenient parses a trace that may have been cut off mid-write — a
+// killed run, a full disk, a signal-flushed partial export. When the strict
+// parse fails it recovers every complete event from the valid prefix of the
+// traceEvents array and reports truncated=true; the error is non-nil only
+// when not even a prefix could be recovered.
+func LoadLenient(data []byte) (spans []Span, truncated bool, err error) {
+	if spans, err = Load(data); err == nil {
+		return spans, false, nil
+	}
+	// Token-stream the prefix: { "traceEvents": [ ev, ev, ... and keep
+	// every event that decodes whole; the first decode error is the
+	// truncation point.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if !nextDelim(dec, '{') {
+		return nil, true, err
+	}
+	var evs []traceEvent
+scan:
+	for {
+		tok, terr := dec.Token()
+		if terr != nil {
+			break
+		}
+		key, ok := tok.(string)
+		if !ok {
+			break
+		}
+		if key != "traceEvents" {
+			var skip json.RawMessage
+			if dec.Decode(&skip) != nil {
+				break
+			}
+			continue
+		}
+		if !nextDelim(dec, '[') {
+			break
+		}
+		for dec.More() {
+			var e traceEvent
+			if dec.Decode(&e) != nil {
+				break scan
+			}
+			evs = append(evs, e)
+		}
+		break
+	}
+	if len(evs) == 0 {
+		return nil, true, err
+	}
+	return spansFromEvents(evs), true, nil
+}
+
+// nextDelim consumes one token and reports whether it is the delimiter.
+func nextDelim(dec *json.Decoder, d json.Delim) bool {
+	tok, err := dec.Token()
+	if err != nil {
+		return false
+	}
+	got, ok := tok.(json.Delim)
+	return ok && got == d
+}
+
+// spansFromEvents converts decoded trace events into analysis spans,
+// resolving the global track from thread_name metadata.
+func spansFromEvents(events []traceEvent) []Span {
 	globalTIDs := map[int]bool{}
-	for _, e := range tf.TraceEvents {
+	for _, e := range events {
 		if e.Ph == "M" && e.Name == "thread_name" {
 			var args struct {
 				Name string `json:"name"`
@@ -341,7 +410,7 @@ func Load(data []byte) ([]Span, error) {
 		}
 	}
 	var out []Span
-	for _, e := range tf.TraceEvents {
+	for _, e := range events {
 		if e.Ph != "X" {
 			continue
 		}
@@ -352,7 +421,7 @@ func Load(data []byte) ([]Span, error) {
 		out = append(out, Span{Rank: r, Cat: e.Cat, Name: e.Name,
 			StartS: e.TS / 1e6, DurS: e.Dur / 1e6})
 	}
-	return out, nil
+	return out
 }
 
 // LoadFile reads and parses a trace file.
@@ -362,6 +431,15 @@ func LoadFile(path string) ([]Span, error) {
 		return nil, fmt.Errorf("traceanalysis: %w", err)
 	}
 	return Load(data)
+}
+
+// LoadFileLenient reads and parses a possibly-truncated trace file.
+func LoadFileLenient(path string) ([]Span, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("traceanalysis: %w", err)
+	}
+	return LoadLenient(data)
 }
 
 // Render formats the analysis as a human-readable report.

@@ -1,0 +1,109 @@
+package traceanalysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// truncTestTrace is a minimal well-formed export: global-track metadata,
+// two rank spans and one global span.
+const truncTestTrace = `{"traceEvents":[
+{"name":"thread_name","ph":"M","tid":9,"args":{"name":"sim"}},
+{"name":"step 0","cat":"step","ph":"X","ts":0,"dur":20,"tid":9},
+{"name":"k1","cat":"kernel","ph":"X","ts":0,"dur":10,"tid":0},
+{"name":"k2","cat":"kernel","ph":"X","ts":5,"dur":12,"tid":1}
+]}`
+
+// TestLoadLenientCompleteTrace pins that a well-formed trace parses
+// identically through both loaders, with no truncation reported.
+func TestLoadLenientCompleteTrace(t *testing.T) {
+	strict, err := Load([]byte(truncTestTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, truncated, err := LoadLenient([]byte(truncTestTrace))
+	if err != nil || truncated {
+		t.Fatalf("complete trace reported truncated=%v err=%v", truncated, err)
+	}
+	if len(lenient) != len(strict) {
+		t.Fatalf("lenient %d spans vs strict %d", len(lenient), len(strict))
+	}
+	for i := range strict {
+		if lenient[i] != strict[i] {
+			t.Errorf("span %d differs: %+v vs %+v", i, lenient[i], strict[i])
+		}
+	}
+	// The metadata resolved the global track in both.
+	if strict[0].Rank != GlobalRank {
+		t.Errorf("sim-track span mapped to rank %d, want GlobalRank", strict[0].Rank)
+	}
+}
+
+// TestLoadLenientTruncatedTrace cuts the export at every byte position and
+// checks the lenient loader never panics, never errors once at least one
+// whole event is present, and always recovers a prefix of the full parse.
+func TestLoadLenientTruncatedTrace(t *testing.T) {
+	full, err := Load([]byte(truncTestTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRecovery := false
+	for cut := 0; cut < len(truncTestTrace); cut++ {
+		data := []byte(truncTestTrace[:cut])
+		spans, truncated, err := LoadLenient(data)
+		if err != nil {
+			continue // nothing recoverable this early
+		}
+		if !truncated {
+			t.Fatalf("cut at %d parsed clean — strict Load should have failed first", cut)
+		}
+		if len(spans) > len(full) {
+			t.Fatalf("cut at %d recovered %d spans, more than the full %d", cut, len(spans), len(full))
+		}
+		for i := range spans {
+			if spans[i] != full[i] {
+				t.Fatalf("cut at %d: span %d = %+v, full parse has %+v", cut, i, spans[i], full[i])
+			}
+		}
+		if len(spans) > 0 {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Error("no truncation point recovered any spans")
+	}
+}
+
+// TestLoadLenientGarbage pins the failure mode: input that holds no
+// recoverable prefix surfaces the strict parse error.
+func TestLoadLenientGarbage(t *testing.T) {
+	for _, bad := range []string{"", "not json at all", `[1,2,3]`} {
+		if spans, _, err := LoadLenient([]byte(bad)); err == nil {
+			t.Errorf("LoadLenient(%q) = %d spans, want error", bad, len(spans))
+		}
+	}
+	// Valid JSON without events is a legal empty trace, not an error.
+	for _, empty := range []string{`{"traceEvents":[]}`, `{"other":true}`} {
+		if _, truncated, err := LoadLenient([]byte(empty)); err != nil || truncated {
+			t.Errorf("LoadLenient(%q): truncated=%v err=%v, want clean empty parse", empty, truncated, err)
+		}
+	}
+}
+
+// TestLoadLenientSkipsOtherKeys checks prefix recovery still works when
+// traceEvents is not the first key.
+func TestLoadLenientSkipsOtherKeys(t *testing.T) {
+	doc := `{"displayTimeUnit":"ms","traceEvents":[` +
+		`{"name":"k1","cat":"kernel","ph":"X","ts":0,"dur":10,"tid":0},` +
+		`{"name":"k2","cat":"kernel","ph":"X","ts":5,"dur"` // cut mid-event
+	spans, truncated, err := LoadLenient([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(spans) != 1 || spans[0].Name != "k1" {
+		t.Fatalf("recovered truncated=%v spans=%+v, want the one whole k1 span", truncated, spans)
+	}
+	if !strings.Contains(doc, "displayTimeUnit") {
+		t.Fatal("test doc lost its leading key")
+	}
+}

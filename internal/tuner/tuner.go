@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sphenergy/internal/events"
 	"sphenergy/internal/gpusim"
 	"sphenergy/internal/par"
 	"sphenergy/internal/rng"
@@ -92,6 +93,13 @@ type Config struct {
 	// instead of re-measuring. Evaluations still counts every logical
 	// evaluation, so a Result is byte-identical with or without a cache.
 	Cache *Cache
+	// Events, when non-nil, receives one tuner-measure event per evaluated
+	// candidate (measured time/energy/score, cache-hit flag) and one
+	// tuner-select event per kernel — the decision ledger's record of why
+	// ManDyn's table says what it says. Concurrent sweeps emit measure
+	// events in completion order; consumers must key on (kernel, MHz), not
+	// arrival order.
+	Events *events.Ledger
 }
 
 // Measurement is one evaluated configuration.
@@ -205,11 +213,12 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 	var evalCount int64
 	evalWith := func(mhz int, noiseVals []float64) Measurement {
 		var m Measurement
+		fromCache := false
 		if cfg.Cache != nil {
 			k := cfg.Cache.key(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
 			cached, ok := cfg.Cache.get(k)
 			if ok {
-				m = cached
+				m, fromCache = cached, true
 			} else {
 				m = measure(cfg.Spec, kernel, mhz, cfg.Iterations, cfg.NoiseRel, noiseVals)
 				cfg.Cache.put(k, m)
@@ -220,6 +229,15 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 		m.Score = cfg.Objective(m.TimeS, m.EnergyJ)
 		atomic.AddInt64(&evalCount, 1)
 		evals.Inc()
+		if cfg.Events != nil {
+			cfg.Events.Emit(events.Event{
+				Step: -1, Rank: -1, Type: events.TunerMeasure,
+				Subject: kernelName, AppliedMHz: mhz,
+				PredTimeS: m.TimeS, PredEnergyJ: m.EnergyJ,
+				PredPowerW: powerW(m), PredEDPJs: m.TimeS * m.EnergyJ,
+				Value: m.Score, Cached: fromCache,
+			})
+		}
 		if cfg.Metrics != nil {
 			labels := []telemetry.Label{
 				telemetry.L("kernel", kernelName),
@@ -320,12 +338,49 @@ func TuneKernel(kernelName string, kernel gpusim.KernelDesc, cfg Config) (*Resul
 		}
 	}
 	res.Best = best
+	if cfg.Events != nil {
+		cfg.Events.Emit(events.Event{
+			Step: -1, Rank: -1, Type: events.TunerSelect,
+			Subject: kernelName, AppliedMHz: best.MHz,
+			PredTimeS: best.TimeS, PredEnergyJ: best.EnergyJ,
+			PredPowerW: powerW(best), PredEDPJs: best.TimeS * best.EnergyJ,
+			Value: best.Score,
+		})
+	}
 	cfg.Metrics.Gauge("tuner_best_mhz",
 		"winning application clock per kernel", telemetry.L("kernel", kernelName)).
 		Set(float64(best.MHz))
 	// Keep All sorted by descending frequency for reporting.
 	sort.Slice(res.All, func(a, b int) bool { return res.All[a].MHz > res.All[b].MHz })
 	return res, nil
+}
+
+// powerW derives the mean power of a measurement (0 when time is zero).
+func powerW(m Measurement) float64 {
+	if m.TimeS <= 0 {
+		return 0
+	}
+	return m.EnergyJ / m.TimeS
+}
+
+// PredictionTable folds per-kernel sweep results into the ledger's
+// prediction lookup, so frequency-decision events carry the model's
+// expected time/energy/EDP at the clock they applied.
+func PredictionTable(results map[string]*Result) events.Predictions {
+	preds := make(events.Predictions, len(results))
+	for name, r := range results {
+		byClock := make(map[int]events.Prediction, len(r.All))
+		for _, m := range r.All {
+			byClock[m.MHz] = events.Prediction{
+				TimeS:   m.TimeS,
+				EnergyJ: m.EnergyJ,
+				PowerW:  powerW(m),
+				EDPJs:   m.TimeS * m.EnergyJ,
+			}
+		}
+		preds[name] = byClock
+	}
+	return preds
 }
 
 // TuneTable tunes every kernel in a named set and returns the

@@ -39,6 +39,7 @@ package sphenergy
 import (
 	"sphenergy/internal/cluster"
 	"sphenergy/internal/core"
+	"sphenergy/internal/events"
 	"sphenergy/internal/experiments"
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/gpusim"
@@ -89,10 +90,33 @@ func NewTracer(ranks int) *Tracer { return telemetry.NewTracer(ranks) }
 func NewMetrics() *Metrics { return telemetry.NewRegistry() }
 
 // ServeMetrics starts a /metrics HTTP listener exposing a registry for live
-// scraping during long runs; close the returned server when done.
-func ServeMetrics(addr string, m *Metrics) (*telemetry.MetricsServer, error) {
-	return telemetry.ServeMetrics(addr, m)
+// scraping during long runs; close the returned server when done. Extra
+// mounts attach additional handlers — typically the event ledger's SSE
+// stream and live status:
+//
+//	led := sphenergy.NewEventLedger(0)
+//	sphenergy.ServeMetrics(":9090", reg,
+//		sphenergy.Mount{Pattern: "/events", Handler: led.SSEHandler()},
+//		sphenergy.Mount{Pattern: "/status", Handler: led.StatusHandler()})
+func ServeMetrics(addr string, m *Metrics, extra ...Mount) (*telemetry.MetricsServer, error) {
+	return telemetry.ServeMetrics(addr, m, extra...)
 }
+
+// Mount aliases an extra HTTP route on the metrics server.
+type Mount = telemetry.Mount
+
+// EventLedger aliases the structured decision ledger: set Config.Events to
+// record every consequential runtime decision (frequency changes, tuner
+// picks, sampler failovers, rank failures, neighbor rebuilds) in a bounded
+// ring with JSONL export and SSE streaming.
+type EventLedger = events.Ledger
+
+// EventSummary aliases the ledger's emit summary carried on Result.Events.
+type EventSummary = events.Summary
+
+// NewEventLedger creates a decision ledger; capacity <= 0 selects the
+// default ring size.
+func NewEventLedger(capacity int) *EventLedger { return events.NewLedger(capacity) }
 
 // LUMIG returns the LUMI-G node architecture of Table I.
 func LUMIG() NodeSpec { return cluster.LUMIG() }
@@ -134,6 +158,16 @@ func ManDyn(table map[string]int) func() Strategy {
 // (EDP objective, 1005 MHz up to the device maximum) for a simulation's
 // pipeline on a system's GPU, returning the ManDyn table.
 func TuneFrequencies(system NodeSpec, sim SimKind, particlesPerRank float64, ng int) (map[string]int, error) {
+	return TuneFrequenciesObserved(system, sim, particlesPerRank, ng, nil)
+}
+
+// TuneFrequenciesObserved is TuneFrequencies with the search recorded into
+// a decision ledger: every sweep measurement and winning pick is emitted as
+// a tuner event, and the full predicted time/power/EDP table is installed
+// on the ledger so subsequent frequency decisions in a Run using the same
+// ledger carry the model's prediction (the join cmd/declog audits). A nil
+// ledger degrades to the unobserved search.
+func TuneFrequenciesObserved(system NodeSpec, sim SimKind, particlesPerRank float64, ng int, led *EventLedger) (map[string]int, error) {
 	if ng <= 0 {
 		ng = 150
 	}
@@ -145,11 +179,15 @@ func TuneFrequencies(system NodeSpec, sim SimKind, particlesPerRank float64, ng 
 	for _, fn := range pipeline {
 		kernels[fn.Name] = fn.Kernel(particlesPerRank, ng, system.GPUSpec.Vendor)
 	}
-	table, _, err := tuner.TuneTable(kernels, tuner.Config{
+	table, results, err := tuner.TuneTable(kernels, tuner.Config{
 		Spec:      system.GPUSpec,
 		Params:    tuner.Params{MinMHz: 1005, MaxMHz: system.GPUSpec.MaxSMClockMHz},
 		Objective: tuner.EDP,
+		Events:    led,
 	})
+	if err == nil && led != nil {
+		led.SetPredictions(tuner.PredictionTable(results))
+	}
 	return table, err
 }
 
