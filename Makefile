@@ -81,7 +81,8 @@ bench-json:
 	$(GO) run ./cmd/energybench -out BENCH_energy.json
 
 # Per-pass SPH pipeline timing (closure walk vs neighbor list vs Verlet
-# skin) at the tracked problem sizes, as machine-readable JSON. This IS the
+# skin vs symmetric folded pairs) at the tracked problem sizes, as
+# machine-readable JSON. This IS the
 # perfgate baseline refresh: after an intentional perf change, run
 # `make bench-sph` (with the 1,2,4,8 sweep so the parallel-efficiency
 # fields stay populated) and commit the regenerated BENCH_sph.json
@@ -109,16 +110,18 @@ perfgate-smoke:
 	$(GO) run ./cmd/perfgate -smoke -baseline BENCH_sph.json /tmp/BENCH_sph_smoke.json
 
 # Fast correctness/liveness gate for `check`: a tiny sphbench run (exercises
-# all three pipelines end to end — the multi-step run gives the Verlet skin
-# real refresh steps), the walk-vs-list and skin-vs-rebuild equivalence
-# tests plus the skin edge cases (drift threshold, overflow fallback,
-# mid-interval restart, bit-identical opt-out), the zero-allocation
-# regression on the reusable grid build, and a one-shot pass over the SPH
-# micro-benchmarks.
+# all four pipelines end to end — closure walk, rebuilt list, Verlet skin
+# and the symmetric folded pair path; the multi-step run gives the skin
+# real refresh steps), the walk-vs-list, skin-vs-rebuild and
+# symmetric-vs-asymmetric equivalence tests plus the skin and fold edge
+# cases (drift threshold, overflow/ngmax fallback, mid-interval restart,
+# bit-identical opt-out, float32-kernel verdict), the zero-allocation
+# regressions on the reusable grid build and the folded passes, and a
+# one-shot pass over the SPH micro-benchmarks.
 bench-sph-smoke:
 	$(GO) run ./cmd/sphbench -sizes 8 -steps 1 -warmup 1 -out /dev/null
 	$(GO) run ./cmd/sphbench -sizes 10 -steps 4 -warmup 1 -out /dev/null
-	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline|Skin' -count=1 ./internal/sph/
+	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline|Skin|Symmetric|Float32' -count=1 ./internal/sph/
 	$(GO) test -run 'ZeroSteadyStateAllocs|QueryZeroAllocs|IntoMatchesBuildGrid' -count=1 ./internal/neighbors/
 	$(GO) test -run xxx -bench 'SPHStep$$' -benchtime 1x ./...
 

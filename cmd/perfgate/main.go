@@ -17,6 +17,12 @@
 //     compared instead.
 //   - Allocation counts per step get a relative tolerance plus an absolute
 //     slack so GC-timing jitter does not flake the gate.
+//   - The symmetric folded pair path carries an absolute speedup floor
+//     (speedup_symmetric_folded), and the GOMAXPROCS sweep an absolute
+//     parallel-efficiency floor on the folded passes — both skipped
+//     gracefully when the fresh run did not measure them, and the
+//     efficiency floor also when the machine has too few CPUs (the fresh
+//     run records num_cpu for exactly this reason).
 //
 // Examples:
 //
@@ -63,6 +69,18 @@ type Tolerances struct {
 	// they do not.
 	CountSlack   int
 	IntervalFrac float64
+	// SymFoldedMin is the absolute floor on the fresh run's
+	// speedup_symmetric_folded — the tracked win of the folded pair path
+	// over the asymmetric skin list on the pair-interaction passes.
+	// Checked only when the fresh run measured it; <= 0 disables.
+	SymFoldedMin float64
+	// EffProcs/EffFloor assert the folded passes' parallel efficiency
+	// t1/(P·tP) at P = EffProcs from the fresh run's GOMAXPROCS sweep.
+	// Skipped when the sweep is absent, lacks the needed points, or the
+	// fresh machine has fewer than EffProcs CPUs (a 1-core container
+	// cannot exhibit parallel speedup); <= 0 disables.
+	EffProcs int
+	EffFloor float64
 }
 
 // Default is tuned for same-machine, same-config comparisons (the normal
@@ -75,6 +93,8 @@ func Default() Tolerances {
 		SpeedupFrac: 0.60,
 		AllocFrac:   0.25, AllocAbs: 64,
 		CountSlack: 1, IntervalFrac: 0.5,
+		SymFoldedMin: 1.4,
+		EffProcs:     4, EffFloor: 0.65,
 	}
 }
 
@@ -88,6 +108,8 @@ func Smoke() Tolerances {
 		SpeedupFrac: 0.35,
 		AllocFrac:   1.0, AllocAbs: 256,
 		CountSlack: 2, IntervalFrac: 1.0,
+		SymFoldedMin: 1.15,
+		EffProcs:     4, EffFloor: 0.5,
 	}
 }
 
@@ -132,8 +154,48 @@ func Gate(base, fresh *benchfmt.Output, tol Tolerances) []string {
 		checkSpeedup("speedup_total", bs.SpeedupTotal, fs.SpeedupTotal)
 		checkSpeedup("speedup_skin", bs.SpeedupSkin, fs.SpeedupSkin)
 		checkSpeedup("speedup_find_neighbors_skin", bs.SpeedupFindNeighborsSkin, fs.SpeedupFindNeighborsSkin)
+		checkSpeedup("speedup_symmetric_folded", bs.SpeedupSymFolded, fs.SpeedupSymFolded)
+		checkSpeedup("speedup_symmetric_total", bs.SpeedupSymTotal, fs.SpeedupSymTotal)
+		// The folded pair path carries an absolute performance contract on
+		// top of the baseline-relative drift checks.
+		if tol.SymFoldedMin > 0 && fs.SpeedupSymFolded > 0 && fs.SpeedupSymFolded < tol.SymFoldedMin {
+			failf("size %d³: speedup_symmetric_folded %.2fx below the %.2fx floor",
+				bs.NSide, fs.SpeedupSymFolded, tol.SymFoldedMin)
+		}
+		checkEfficiency(fresh, fs, tol, failf)
 	}
 	return fails
+}
+
+// checkEfficiency asserts the folded passes' parallel efficiency
+// t1/(P·tP) at P = tol.EffProcs from the fresh run's GOMAXPROCS sweep.
+// The check only runs when the fresh machine actually has EffProcs CPUs —
+// GOMAXPROCS can exceed the core count, but the sweep then measures
+// oversubscription, not scaling — and when the sweep includes both the
+// 1-proc anchor and the target point.
+func checkEfficiency(fresh *benchfmt.Output, fs *benchfmt.SizeResult,
+	tol Tolerances, failf func(string, ...any)) {
+
+	if tol.EffProcs <= 0 || tol.EffFloor <= 0 || fresh.NumCPU < tol.EffProcs {
+		return
+	}
+	var t1, tp float64
+	for i := range fs.Sweep {
+		switch fs.Sweep[i].Procs {
+		case 1:
+			t1 = benchfmt.FoldedNs(fs.Sweep[i].NsPerParticleStep)
+		case tol.EffProcs:
+			tp = benchfmt.FoldedNs(fs.Sweep[i].NsPerParticleStep)
+		}
+	}
+	if t1 <= 0 || tp <= 0 {
+		return
+	}
+	eff := t1 / (float64(tol.EffProcs) * tp)
+	if eff < tol.EffFloor {
+		failf("size %d³: folded-pass parallel efficiency %.2f at %d procs below the %.2f floor (t1 %.0f, tP %.0f ns/particle)",
+			fs.NSide, eff, tol.EffProcs, tol.EffFloor, t1, tp)
+	}
 }
 
 func gateMode(bs, fs *benchfmt.SizeResult, mode string, bm, fm benchfmt.ModeResult,

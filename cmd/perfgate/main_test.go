@@ -11,17 +11,20 @@ import (
 
 // sampleBench builds a plausible baseline with all checked fields set.
 func sampleBench() *benchfmt.Output {
-	mode := func(findNs, momNs float64, allocs float64) benchfmt.ModeResult {
+	mode := func(allocs float64, over map[string]float64) benchfmt.ModeResult {
 		ns := map[string]float64{
-			"find_neighbors":  findNs,
+			"find_neighbors":  6000,
 			"xmass":           400,
 			"gradh":           800,
 			"eos":             6,
 			"iad":             1800,
 			"av_switches":     10,
-			"momentum_energy": momNs,
+			"momentum_energy": 2400,
 			"timestep":        8,
 			"update":          20,
+		}
+		for k, v := range over {
+			ns[k] = v
 		}
 		total := 0.0
 		for _, v := range ns {
@@ -34,28 +37,50 @@ func sampleBench() *benchfmt.Output {
 			AllocsPerStep:     allocs,
 		}
 	}
-	walk := mode(4400, 7200, 13000)
-	list := mode(7500, 2250, 600)
-	skin := mode(6000, 2400, 80)
+	walk := mode(13000, map[string]float64{"find_neighbors": 4400, "momentum_energy": 7200})
+	list := mode(600, map[string]float64{"find_neighbors": 7500, "momentum_energy": 2250})
+	skin := mode(80, nil)
 	skin.Skin = 0.3
 	skin.Rebuilds = 1
 	skin.Refreshes = 3
 	skin.RebuildIntervalSteps = 4
 	skin.RebuildNsPerParticle = 9000
 	skin.RefreshNsPerParticle = 4000
+	sym := mode(90, map[string]float64{
+		"find_neighbors": 6100, "xmass": 950, "gradh": 25,
+		"iad": 1300, "momentum_energy": 1150,
+	})
+	sym.Skin = 0.3
+	sym.Rebuilds = 1
+	sym.Refreshes = 3
+	sym.RebuildIntervalSteps = 4
+	symAt4 := mode(140, map[string]float64{
+		"find_neighbors": 1900, "xmass": 300, "gradh": 9,
+		"iad": 420, "momentum_energy": 370,
+	})
 	return &benchfmt.Output{
 		Benchmark:  "sph_pipeline",
 		GoMaxProcs: 1,
+		NumCPU:     8,
 		Sizes: []benchfmt.SizeResult{{
 			NSide: 20, N: 8000, NgTarget: 64, Warmup: 1, Steps: 4,
 			Modes: map[string]benchfmt.ModeResult{
-				"closure_walk":       walk,
-				"neighbor_list":      list,
-				"neighbor_list_skin": skin,
+				"closure_walk":            walk,
+				"neighbor_list":           list,
+				"neighbor_list_skin":      skin,
+				"neighbor_list_symmetric": sym,
 			},
 			SpeedupTotal:             walk.StepMs / list.StepMs,
 			SpeedupSkin:              list.StepMs / skin.StepMs,
 			SpeedupFindNeighborsSkin: list.NsPerParticleStep["find_neighbors"] / skin.NsPerParticleStep["find_neighbors"],
+			SpeedupSymFolded:         benchfmt.FoldedNs(skin.NsPerParticleStep) / benchfmt.FoldedNs(sym.NsPerParticleStep),
+			SpeedupSymTotal:          skin.StepMs / sym.StepMs,
+			SweepMode:                "neighbor_list_symmetric",
+			Sweep: []benchfmt.SweepPoint{
+				{Procs: 1, NsPerParticleStep: sym.NsPerParticleStep, StepMs: sym.StepMs, SpeedupVs1: 1},
+				{Procs: 4, NsPerParticleStep: symAt4.NsPerParticleStep, StepMs: symAt4.StepMs,
+					SpeedupVs1: sym.StepMs / symAt4.StepMs},
+			},
 		}},
 	}
 }
@@ -185,6 +210,65 @@ func TestGateSpeedupFloor(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(fails, "\n"), "speedup_total") {
 		t.Errorf("failures do not mention speedup_total: %v", fails)
+	}
+}
+
+func TestGateSymmetricFoldedFloor(t *testing.T) {
+	base := sampleBench()
+	c := clone(t, base)
+	c.Sizes[0].SpeedupSymFolded = 1.2 // above the 0.6 relative floor, below the 1.4 absolute one
+	fails := Gate(base, c, Default())
+	if len(fails) == 0 {
+		t.Fatal("1.2x folded speedup passed the 1.4x absolute floor")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "speedup_symmetric_folded") {
+		t.Errorf("failures do not mention the folded floor: %v", fails)
+	}
+	// A fresh run that never measured the symmetric mode (e.g. a historical
+	// file) must not trip the absolute floor — only the missing-mode check.
+	c2 := clone(t, base)
+	c2.Sizes[0].SpeedupSymFolded = 0
+	for _, f := range Gate(base, c2, Default()) {
+		if strings.Contains(f, "below the") {
+			t.Errorf("unmeasured folded speedup tripped the absolute floor: %s", f)
+		}
+	}
+}
+
+func TestGateParallelEfficiencyFloor(t *testing.T) {
+	base := sampleBench()
+	degrade := func(o *benchfmt.Output) {
+		pt := &o.Sizes[0].Sweep[1] // the 4-proc point
+		for _, pass := range benchfmt.FoldedPasses {
+			pt.NsPerParticleStep[pass] *= 2 // efficiency ~0.39, below the 0.65 floor
+		}
+	}
+	c := clone(t, base)
+	degrade(c)
+	fails := Gate(base, c, Default())
+	if len(fails) == 0 {
+		t.Fatal("collapsed 4-proc efficiency passed the gate")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "parallel efficiency") {
+		t.Errorf("failures do not mention parallel efficiency: %v", fails)
+	}
+	// On a machine without enough CPUs the sweep measures oversubscription,
+	// not scaling — the check must skip, not fail.
+	c2 := clone(t, base)
+	degrade(c2)
+	c2.NumCPU = 1
+	for _, f := range Gate(base, c2, Default()) {
+		if strings.Contains(f, "parallel efficiency") {
+			t.Errorf("efficiency floor asserted on a 1-CPU machine: %s", f)
+		}
+	}
+	// Without a sweep (plain smoke runs) the check also skips.
+	c3 := clone(t, base)
+	c3.Sizes[0].Sweep = nil
+	for _, f := range Gate(base, c3, Default()) {
+		if strings.Contains(f, "parallel efficiency") {
+			t.Errorf("efficiency floor asserted without a sweep: %s", f)
+		}
 	}
 }
 

@@ -1,11 +1,13 @@
 // Command sphbench measures the real SPH compute layer pass by pass — the
 // per-function decomposition the paper attributes energy to — and writes
 // the results as machine-readable JSON for regression tracking. Each
-// problem size is run three times: with the legacy closure-walk pipeline,
-// with the persistent neighbor list rebuilt every step, and with the
-// Verlet-skin list that amortizes rebuilds across steps — so the file
-// records its own before/after comparisons and future PRs diff against a
-// stable schema (internal/benchfmt; cmd/perfgate is the consumer).
+// problem size is run four times: with the legacy closure-walk pipeline,
+// with the persistent neighbor list rebuilt every step, with the
+// Verlet-skin list that amortizes rebuilds across steps, and with the
+// symmetric folded pair list that visits each interaction once — so the
+// file records its own before/after comparisons and future PRs diff
+// against a stable schema (internal/benchfmt; cmd/perfgate is the
+// consumer).
 //
 // Passes are timed through the pipeline's own Options.PassHook, so the
 // benchmark exercises the exact RunStep the simulator runs, and
@@ -45,10 +47,12 @@ var passMetrics *telemetry.Registry
 // code path is RunStep itself. SFC reordering is disabled so all modes
 // advance identical trajectories and the comparison is pure pipeline cost.
 // skin < 0 keeps the default Verlet skin; skin == 0 pins the
-// rebuild-every-step list.
-func runMode(nSide, warmup, steps int, closureWalk bool, skin float64) (benchfmt.ModeResult, int) {
+// rebuild-every-step list. symmetric enables the folded pair-interaction
+// path on top of the list.
+func runMode(nSide, warmup, steps int, closureWalk, symmetric bool, skin float64) (benchfmt.ModeResult, int) {
 	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
 	opt.ClosureWalk = closureWalk
+	opt.SymmetricPairs = symmetric
 	opt.ReorderEvery = 0
 	if skin >= 0 {
 		opt.Skin = skin
@@ -130,10 +134,10 @@ func runMode(nSide, warmup, steps int, closureWalk bool, skin float64) (benchfmt
 	return res, opt.NgTarget
 }
 
-// runSweep measures the skin-mode pipeline at each GOMAXPROCS setting and
-// derives per-pass parallel efficiency t1/(P·tP) against the sweep's
-// lowest-proc point (exact t1 when the list includes 1). GOMAXPROCS is
-// restored afterwards.
+// runSweep measures the symmetric skin-mode pipeline at each GOMAXPROCS
+// setting and derives per-pass parallel efficiency t1/(P·tP) against the
+// sweep's lowest-proc point (exact t1 when the list includes 1).
+// GOMAXPROCS is restored afterwards.
 func runSweep(nSide, warmup, steps int, procs []int) []benchfmt.SweepPoint {
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
@@ -141,7 +145,7 @@ func runSweep(nSide, warmup, steps int, procs []int) []benchfmt.SweepPoint {
 	points := make([]benchfmt.SweepPoint, 0, len(procs))
 	for _, p := range procs {
 		runtime.GOMAXPROCS(p)
-		mode, _ := runMode(nSide, warmup, steps, false, -1)
+		mode, _ := runMode(nSide, warmup, steps, false, true, -1)
 		points = append(points, benchfmt.SweepPoint{
 			Procs:             p,
 			NsPerParticleStep: mode.NsPerParticleStep,
@@ -212,18 +216,24 @@ func main() {
 		sweepProcs = parseInts(*gomaxprocs, "gomaxprocs")
 	}
 
-	o := benchfmt.Output{Benchmark: "sph_pipeline", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	o := benchfmt.Output{
+		Benchmark:  "sph_pipeline",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 	for _, nSide := range parseInts(*sizes, "size") {
 		if nSide < 2 {
 			fmt.Fprintf(os.Stderr, "sphbench: size %d too small\n", nSide)
 			os.Exit(1)
 		}
 		fmt.Printf("size %d³ (%d particles): closure walk...", nSide, nSide*nSide*nSide)
-		walk, ngTarget := runMode(nSide, *warmup, *steps, true, 0)
+		walk, ngTarget := runMode(nSide, *warmup, *steps, true, false, 0)
 		fmt.Printf(" %.1f ms/step; neighbor list...", walk.StepMs)
-		list, _ := runMode(nSide, *warmup, *steps, false, 0)
+		list, _ := runMode(nSide, *warmup, *steps, false, false, 0)
 		fmt.Printf(" %.1f ms/step; verlet skin...", list.StepMs)
-		skin, _ := runMode(nSide, *warmup, *steps, false, -1)
+		skin, _ := runMode(nSide, *warmup, *steps, false, false, -1)
+		fmt.Printf(" %.1f ms/step; symmetric pairs...", skin.StepMs)
+		symm, _ := runMode(nSide, *warmup, *steps, false, true, -1)
 		sr := benchfmt.SizeResult{
 			NSide:    nSide,
 			N:        nSide * nSide * nSide,
@@ -231,19 +241,24 @@ func main() {
 			Warmup:   *warmup,
 			Steps:    *steps,
 			Modes: map[string]benchfmt.ModeResult{
-				"closure_walk":       walk,
-				"neighbor_list":      list,
-				"neighbor_list_skin": skin,
+				"closure_walk":            walk,
+				"neighbor_list":           list,
+				"neighbor_list_skin":      skin,
+				"neighbor_list_symmetric": symm,
 			},
 			SpeedupTotal:             walk.StepMs / list.StepMs,
 			SpeedupSkin:              list.StepMs / skin.StepMs,
 			SpeedupFindNeighborsSkin: list.NsPerParticleStep[sph.PassFindNeighbors] / skin.NsPerParticleStep[sph.PassFindNeighbors],
+			SpeedupSymFolded:         benchfmt.FoldedNs(skin.NsPerParticleStep) / benchfmt.FoldedNs(symm.NsPerParticleStep),
+			SpeedupSymTotal:          skin.StepMs / symm.StepMs,
 		}
-		fmt.Printf(" %.1f ms/step (list %.2fx walk, skin %.2fx list, find_neighbors %.2fx)\n",
-			skin.StepMs, sr.SpeedupTotal, sr.SpeedupSkin, sr.SpeedupFindNeighborsSkin)
+		fmt.Printf(" %.1f ms/step (list %.2fx walk, skin %.2fx list, find_neighbors %.2fx, sym folded %.2fx, sym total %.2fx)\n",
+			symm.StepMs, sr.SpeedupTotal, sr.SpeedupSkin, sr.SpeedupFindNeighborsSkin,
+			sr.SpeedupSymFolded, sr.SpeedupSymTotal)
 		if len(sweepProcs) > 0 {
-			fmt.Printf("  gomaxprocs sweep %v on verlet-skin mode:\n", sweepProcs)
+			fmt.Printf("  gomaxprocs sweep %v on symmetric skin mode:\n", sweepProcs)
 			sr.Sweep = runSweep(nSide, *warmup, *steps, sweepProcs)
+			sr.SweepMode = "neighbor_list_symmetric"
 		}
 		o.Sizes = append(o.Sizes, sr)
 	}

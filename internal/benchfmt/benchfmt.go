@@ -29,6 +29,21 @@ var PassNames = []string{
 // TotalKey is the synthetic "pass" holding the whole-step cost.
 const TotalKey = "total"
 
+// FoldedPasses are the pair-interaction passes that the symmetric
+// neighbor-list mode folds to visit each pair once; the symmetric speedup
+// targets are expressed over their summed cost.
+var FoldedPasses = []string{"xmass", "gradh", "iad", "momentum_energy"}
+
+// FoldedNs sums the folded pair-interaction passes of a per-pass timing
+// map, in ns per particle per step.
+func FoldedNs(ns map[string]float64) float64 {
+	sum := 0.0
+	for _, p := range FoldedPasses {
+		sum += ns[p]
+	}
+	return sum
+}
+
 // ModeResult is one pipeline variant's timing at one problem size.
 type ModeResult struct {
 	// NsPerParticleStep maps each pass (plus "total") to nanoseconds per
@@ -80,16 +95,29 @@ type SizeResult struct {
 	// find_neighbors pass alone (the amortization the skin buys).
 	SpeedupSkin              float64 `json:"speedup_skin"`
 	SpeedupFindNeighborsSkin float64 `json:"speedup_find_neighbors_skin"`
+	// SpeedupSymFolded is the summed folded-pass cost (see FoldedPasses) of
+	// neighbor_list_skin over neighbor_list_symmetric — the win from
+	// visiting each pair once. SpeedupSymTotal is the same ratio on whole
+	// steps.
+	SpeedupSymFolded float64 `json:"speedup_symmetric_folded,omitempty"`
+	SpeedupSymTotal  float64 `json:"speedup_symmetric_total,omitempty"`
 	// Sweep holds the optional GOMAXPROCS sweep (-gomaxprocs), ascending
-	// by Procs.
-	Sweep []SweepPoint `json:"gomaxprocs_sweep,omitempty"`
+	// by Procs. SweepMode names the pipeline mode the sweep ran on
+	// (neighbor_list_symmetric once the symmetric path became the default
+	// sweep subject; empty means the historical neighbor_list_skin).
+	Sweep     []SweepPoint `json:"gomaxprocs_sweep,omitempty"`
+	SweepMode string       `json:"sweep_mode,omitempty"`
 }
 
 // Output is the whole benchmark file.
 type Output struct {
-	Benchmark  string       `json:"benchmark"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Sizes      []SizeResult `json:"sizes"`
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU records the machine's logical CPU count at measurement time;
+	// the gate uses it to skip multicore-efficiency assertions on hosts
+	// that cannot run the sweep's worker counts in parallel.
+	NumCPU int          `json:"num_cpu,omitempty"`
+	Sizes  []SizeResult `json:"sizes"`
 }
 
 // Size returns the result for one lattice side, nil when absent.

@@ -1,0 +1,72 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable32TracksFloat64Table pins the float32 quantization error band:
+// close enough to be a faithful kernel (well under 1e-4 relative), but far
+// outside float64 round-off — which is why the pipeline-level Float32Eval
+// flag cannot hold a 1e-9 equivalence gate.
+func TestTable32TracksFloat64Table(t *testing.T) {
+	tab := NewCheckedTable(WendlandC2{}, DefaultTablePoints)
+	t32 := Quantize32(tab)
+	var maxW, maxDW float64
+	wScale := tab.W(0, 1)
+	dwScale := 0.0
+	for i := 0; i <= 4000; i++ {
+		q := float64(i) * 2.0 / 4000
+		if v := math.Abs(tab.DW(q, 1)); v > dwScale {
+			dwScale = v
+		}
+	}
+	for i := 0; i <= 4000; i++ {
+		q := float64(i) * 2.0 / 4000 * 0.9999
+		if d := math.Abs(t32.W(q, 1) - tab.W(q, 1)); d > maxW {
+			maxW = d
+		}
+		if d := math.Abs(t32.DW(q, 1) - tab.DW(q, 1)); d > maxDW {
+			maxDW = d
+		}
+	}
+	relW, relDW := maxW/wScale, maxDW/dwScale
+	if relW > 1e-4 || relDW > 1e-4 {
+		t.Errorf("float32 table too far from float64: wErr=%.3g dwErr=%.3g", relW, relDW)
+	}
+	if relW < 1e-9 && relDW < 1e-9 {
+		t.Errorf("float32 table suspiciously exact (wErr=%.3g dwErr=%.3g) — quantization not happening?", relW, relDW)
+	}
+}
+
+func TestTable32SupportAndInvalidH(t *testing.T) {
+	t32 := Quantize32(NewCheckedTable(CubicSpline{}, DefaultTablePoints))
+	if v := t32.W(2.1, 1); v != 0 {
+		t.Errorf("W outside support = %v", v)
+	}
+	if v := t32.DW(2.0, 1); v != 0 {
+		t.Errorf("DW at support edge = %v", v)
+	}
+	if v := t32.W(0.5, 0); v != 0 {
+		t.Errorf("W with h=0 = %v", v)
+	}
+	if t32.Name() != "cubic-spline-table-f32" {
+		t.Errorf("Name = %q", t32.Name())
+	}
+	if t32.SupportRadius() != 2 {
+		t.Errorf("SupportRadius = %v", t32.SupportRadius())
+	}
+}
+
+func TestTable32ScalingWithH(t *testing.T) {
+	// W scales as 1/h³ and DW as 1/h⁴ (within float32 rounding of the
+	// scale factors themselves).
+	t32 := Quantize32(NewCheckedTable(WendlandC6{}, DefaultTablePoints))
+	for _, h := range []float64{0.05, 0.5, 2} {
+		w1 := t32.W(0.3, 1)
+		wh := t32.W(0.3*h, h)
+		if math.Abs(wh-w1/(h*h*h)) > 1e-6*math.Abs(w1/(h*h*h)) {
+			t.Errorf("h=%v: W scaling off: %v vs %v", h, wh, w1/(h*h*h))
+		}
+	}
+}

@@ -34,6 +34,33 @@ func workersFor(n int) int {
 	return w
 }
 
+// chunkAlign rounds per-worker chunk lengths up to this many elements
+// (8 float64s = one 64-byte cache line), so adjacent workers writing
+// contiguous ranges of a shared output slice never straddle the same line.
+const chunkAlign = 8
+
+// chunkSize returns the per-worker chunk length for n items over the given
+// worker count, cache-line aligned. The partition is a pure function of
+// (n, workers), so chunk boundaries — and therefore any per-chunk reduction
+// order — are deterministic for a fixed GOMAXPROCS.
+func chunkSize(n, workers int) int {
+	c := (n + workers - 1) / workers
+	if r := c % chunkAlign; r != 0 {
+		c += chunkAlign - r
+	}
+	return c
+}
+
+// padded64 is a per-worker reduction slot padded out to a full cache line:
+// workers publish partials concurrently, and unpadded adjacent float64s
+// would ping-pong the shared line between cores on every store (false
+// sharing — measurable on the scatter-heavy symmetric SPH passes).
+type padded64 struct {
+	v    float64
+	used bool
+	_    [55]byte
+}
+
 // For executes fn(i) for every i in [0, n) using up to MaxWorkers
 // goroutines. fn must be safe to call concurrently for distinct i. Loops
 // shorter than SerialGrain run inline on the calling goroutine.
@@ -59,7 +86,7 @@ func ForChunked(n int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := chunkSize(n, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= n {
@@ -93,9 +120,9 @@ func SumFloat64(n int, fn func(i int) float64) float64 {
 		}
 		return s
 	}
-	partials := make([]float64, workers)
+	partials := make([]padded64, workers)
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := chunkSize(n, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= n {
@@ -112,13 +139,13 @@ func SumFloat64(n int, fn func(i int) float64) float64 {
 			for i := lo; i < hi; i++ {
 				s += fn(i)
 			}
-			partials[w] = s
+			partials[w].v = s
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	total := 0.0
-	for _, p := range partials {
-		total += p
+	for w := range partials {
+		total += partials[w].v
 	}
 	return total
 }
@@ -139,10 +166,9 @@ func MinFloat64(n int, fn func(i int) float64) float64 {
 		}
 		return m
 	}
-	partials := make([]float64, workers)
-	used := make([]bool, workers)
+	partials := make([]padded64, workers)
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := chunkSize(n, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= n {
@@ -161,19 +187,19 @@ func MinFloat64(n int, fn func(i int) float64) float64 {
 					m = v
 				}
 			}
-			partials[w] = m
-			used[w] = true
+			partials[w].v = m
+			partials[w].used = true
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	var m float64
 	first := true
 	for w := range partials {
-		if !used[w] {
+		if !partials[w].used {
 			continue
 		}
-		if first || partials[w] < m {
-			m = partials[w]
+		if first || partials[w].v < m {
+			m = partials[w].v
 			first = false
 		}
 	}
@@ -193,10 +219,9 @@ func Reduce(n int, fn func(lo, hi int) float64, combine func(a, b float64) float
 	if workers == 1 {
 		return fn(0, n)
 	}
-	partials := make([]float64, workers)
-	used := make([]bool, workers)
+	partials := make([]padded64, workers)
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	chunk := chunkSize(n, workers)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= n {
@@ -209,22 +234,22 @@ func Reduce(n int, fn func(lo, hi int) float64, combine func(a, b float64) float
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			partials[w] = fn(lo, hi)
-			used[w] = true
+			partials[w].v = fn(lo, hi)
+			partials[w].used = true
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	var acc float64
 	first := true
 	for w := range partials {
-		if !used[w] {
+		if !partials[w].used {
 			continue
 		}
 		if first {
-			acc = partials[w]
+			acc = partials[w].v
 			first = false
 		} else {
-			acc = combine(acc, partials[w])
+			acc = combine(acc, partials[w].v)
 		}
 	}
 	return acc

@@ -17,7 +17,9 @@ import (
 // improves accuracy on disordered particle distributions. This function is
 // one of the two most compute-intensive kernels in the paper's measurements.
 func (s *State) IADVelocityDivCurl() {
-	if s.useList() {
+	if s.useSym() {
+		s.iadSym()
+	} else if s.useList() {
 		s.iadList()
 	} else {
 		s.iadWalk()

@@ -36,7 +36,9 @@ func (s *State) AVSwitches(dt float64) {
 // Monaghan artificial viscosity with Balsara limiter. This is the most
 // compute-intensive kernel of the pipeline — the paper's MomentumEnergy.
 func (s *State) MomentumEnergy() {
-	if s.useList() {
+	if s.useSym() {
+		s.momentumSym()
+	} else if s.useList() {
 		s.momentumList()
 	} else {
 		s.momentumWalk()

@@ -72,10 +72,33 @@ type NeighborList struct {
 	RefH        []float64
 	BuildStep   int
 
+	// Pair* is the folded symmetric pair list (Options.SymmetricPairs):
+	// every unordered interacting pair {a, b} appears exactly once, in the
+	// segment [PairOffsets[a], PairOffsets[a+1]) of the endpoint a that
+	// owns it — the smaller index when both directed edges exist, the only
+	// endpoint whose support covers the pair otherwise. PairIdx holds the
+	// other endpoint, PairDx/Dy/Dz the owner-side displacement
+	// x_owner - x_other (copied from the owner's main segment, so the
+	// arithmetic matches the asymmetric passes bit for bit), and PairBoth
+	// is 1 when the reverse directed edge also exists in the main list.
+	// Records inherit the owner's CSR order, so the scatter targets of
+	// consecutive pairs stay cache-adjacent under SFC ordering. Built by
+	// buildPairs; replaces the Ext transpose in symmetric mode.
+	PairOffsets []int32
+	PairIdx     []int32
+	PairBoth    []uint8
+	PairDx      []float64
+	PairDy      []float64
+	PairDz      []float64
+	PairDist    []float64
+
 	refsOK  bool // reference snapshot is valid
 	candsOK bool // candidate CSR matches the reference snapshot
+	pairsOK bool // folded pair list matches the current main list
 
-	extCnt []int32 // scratch: per-particle extras count, then fill cursor
+	extCnt   []int32 // scratch: per-particle extras count, then fill cursor
+	pairCnt  []int32 // scratch: per-owner folded pair count
+	pairDisp []uint8 // scratch: per-edge pair disposition
 }
 
 // Count returns the stored neighbor count of particle i.
@@ -126,6 +149,13 @@ func ensureInt32(s []int32, n int) []int32 {
 func ensureF64(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func ensureU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
 	}
 	return s[:n]
 }
@@ -194,7 +224,7 @@ func (s *State) buildNeighborList(maxH float64) float64 {
 
 	nl.mergeChunks(chunks, n, false)
 	nl.refsOK, nl.candsOK = false, false
-	s.buildExtras()
+	s.buildDerived()
 	return newMax
 }
 
@@ -247,6 +277,7 @@ func finishParticle(p *Particles, cb *listChunk, i, start, ngmax int, hOld, ng, 
 // identical to a serial build. withCands additionally merges the captured
 // candidate segments of a skin build.
 func (nl *NeighborList) mergeChunks(chunks []*listChunk, n int, withCands bool) {
+	nl.pairsOK = false // main list changes; buildDerived re-folds it
 	sort.Slice(chunks, func(a, b int) bool { return chunks[a].lo < chunks[b].lo })
 	nl.Offsets = ensureInt32(nl.Offsets, n+1)
 	if withCands {
@@ -290,6 +321,18 @@ func (nl *NeighborList) mergeChunks(chunks []*listChunk, n int, withCands bool) 
 		}
 		listChunkPool.Put(cb)
 	}
+}
+
+// buildDerived derives the per-step secondary pair structure from the
+// freshly merged main list: the folded symmetric pair list when
+// Options.SymmetricPairs is set, the Ext transpose otherwise. Exactly one
+// of the two is live at a time; the passes dispatch on the same option.
+func (s *State) buildDerived() {
+	if s.Opt.SymmetricPairs {
+		s.buildPairs()
+		return
+	}
+	s.buildExtras()
 }
 
 // buildExtras derives the asymmetric-support segments by transposing the

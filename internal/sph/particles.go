@@ -20,6 +20,7 @@ import (
 
 	"sphenergy/internal/kernel"
 	"sphenergy/internal/neighbors"
+	"sphenergy/internal/par"
 	"sphenergy/internal/sfc"
 )
 
@@ -210,6 +211,29 @@ type Options struct {
 	// entirely, reproducing the rebuild-every-step pipeline exactly.
 	RebuildEvery int
 
+	// SymmetricPairs folds the two directions of every neighbor pair into
+	// one record (Newton's third law): FindNeighbors derives a folded pair
+	// list from the main CSR, and the pair-interaction passes — XMass,
+	// NormalizationGradh, IADVelocityDivCurl, MomentumEnergy — visit each
+	// (i, j) pair once and scatter to both endpoints through per-worker
+	// private accumulators (par.Scatter). Results differ from the
+	// asymmetric list only in summation order (~1e-15 relative) and are
+	// deterministic for a fixed GOMAXPROCS. Must be chosen before the run's
+	// first FindNeighbors and left alone: the folded list replaces the Ext
+	// transpose, so flipping the flag mid-run leaves the other layout stale
+	// until the next FindNeighbors.
+	SymmetricPairs bool
+
+	// Float32Eval quantizes kernel evaluation on the symmetric path to
+	// float32 — float32 kernel tables and interpolation, pair displacements
+	// rounded through float32 — while keeping every accumulation in
+	// float64. Requires SymmetricPairs and a tabulated kernel (other
+	// kernels keep float64 evaluation). Verdict for the ROADMAP question:
+	// the quantization alone contributes ~1e-7 relative error, so this mode
+	// measurably fails the pipeline's 1e-9 equivalence gate; see
+	// TestFloat32EvalFailsEquivalenceGate.
+	Float32Eval bool
+
 	// CFL is the Courant factor for the timestep.
 	CFL float64
 
@@ -306,6 +330,21 @@ type State struct {
 	gridBuf  *neighbors.Grid // reused cell-grid buffers across rebuilds
 	hBackup  []float64       // refresh-abort scratch: pre-update H
 	ncBackup []int32         // refresh-abort scratch: pre-update NC
+
+	// Symmetric-pair scratch, all reused across steps: the scatter-add
+	// accumulators, the per-particle precomputations the folded passes
+	// hoist out of the pair loop (volume elements, P/(Ω ρ²), Balsara
+	// factors), and the per-pair kernel values W/DW at both endpoints that
+	// the fused XMass sweep evaluates once per step for every downstream
+	// pass (symCacheOK) along with the gradh sums it accumulates on the
+	// side (symDsumOK). Both flags drop when the pair list is refolded.
+	scat                  par.Scatter
+	symV, symPrho, symF   []float64
+	symWa, symWb          []float64
+	symDwa, symDwb        []float64
+	symDsum               []float64
+	symCacheOK, symDsumOK bool
+	kern32, kern32base    kernel.Kernel // cached Float32Eval quantization
 }
 
 // NeighborStats breaks down FindNeighbors activity since the state was

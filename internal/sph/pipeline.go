@@ -154,7 +154,9 @@ func (s *State) XMass() {
 		}
 		p.XM[i] = xm
 	})
-	if s.useList() {
+	if s.useSym() {
+		s.xmassSym()
+	} else if s.useList() {
 		s.xmassList()
 	} else {
 		s.xmassWalk()
@@ -166,7 +168,9 @@ func (s *State) XMass() {
 // momentum and energy equations of the variable-smoothing-length
 // formulation. ("computeVeDefGradh" in SPH-EXA.)
 func (s *State) NormalizationGradh() {
-	if s.useList() {
+	if s.useSym() {
+		s.gradhSym()
+	} else if s.useList() {
 		s.gradhList()
 	} else {
 		s.gradhWalk()

@@ -142,7 +142,7 @@ func (s *State) rebuildSkin(maxH float64) float64 {
 	nl.mergeChunks(chunks, n, true)
 	nl.BuildStep = s.Step
 	nl.refsOK, nl.candsOK = true, true
-	s.buildExtras()
+	s.buildDerived()
 	return newMax
 }
 
@@ -240,7 +240,7 @@ func (s *State) refreshSkin(maxH float64) (float64, bool) {
 		copy(p.NC, s.ncBackup)
 		return 0, false
 	}
-	s.buildExtras()
+	s.buildDerived()
 	return newMax, true
 }
 
