@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build lint vet fmt-check test race race-energy race-faults bench bench-telemetry bench-json bench-sph bench-sph-smoke bench-gomaxprocs perfgate perfgate-smoke chaos chaos-smoke events-smoke check experiments examples clean
+.PHONY: all build lint vet fmt-check test race race-energy race-faults race-recovery bench bench-telemetry bench-json bench-sph bench-sph-smoke bench-gomaxprocs perfgate perfgate-smoke perfgate-ckpt chaos chaos-smoke events-smoke soak soak-smoke check experiments examples clean
 
 all: build lint test
 
@@ -15,9 +15,11 @@ all: build lint test
 # seeded chaos smoke proving the fault/degradation layer keeps the
 # measurement contract and stays bit-identical per seed, the perf
 # regression sentinel (perfgate-smoke) diffing a short bench run against
-# the committed BENCH_sph.json baseline, and the decision-ledger smoke
-# (events-smoke) proving a tuned run exports an auditable ledger.
-check: lint race race-energy race-faults bench-sph-smoke chaos-smoke perfgate-smoke events-smoke
+# the committed BENCH_sph.json baseline, the decision-ledger smoke
+# (events-smoke) proving a tuned run exports an auditable ledger, and the
+# recovery soak smoke (soak-smoke) proving seeded kill-and-recover runs
+# converge bit-identically plus the checkpoint-overhead self-gate.
+check: lint race race-energy race-faults bench-sph-smoke chaos-smoke perfgate-smoke events-smoke soak-smoke
 
 # lint is the static gate: go vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -44,6 +46,29 @@ chaos:
 chaos-smoke:
 	$(GO) run ./cmd/faultbench -seeds 2 -q
 	$(GO) run ./cmd/faultbench -seeds 2 -ranks 3 -s 4 -crash -q
+
+# Full recovery soak: many seeds, >= 10 kill points each, every killed run
+# must restart from its on-disk checkpoint and converge bit-identically to
+# the uninterrupted reference, plus a budget preemption + resume per seed.
+soak:
+	$(GO) run ./cmd/faultbench -soak -seeds 5 -kills 10 -ranks 4 -s 8 -q
+	$(GO) run ./cmd/perfgate -ckpt-overhead 1.0
+
+# Fast recovery gate for `check`: a short seeded kill-and-recover sweep and
+# the self-measured checkpoint-overhead gate (autosave-every 10 vs off).
+soak-smoke:
+	$(GO) run ./cmd/faultbench -soak -seeds 2 -kills 4 -ranks 2 -s 6 -q
+	$(GO) run ./cmd/perfgate -ckpt-overhead 1.0
+
+# The checkpoint/supervisor stack under the race detector: store
+# corruption/truncation handling, atomic writer, controller + watchdog +
+# supervisor, and the end-to-end crash/budget/stall recovery tests in core.
+race-recovery:
+	$(GO) test -race ./internal/recovery/ ./internal/atomicio/ ./internal/core/
+
+# Checkpoint-overhead self-gate at the default tolerance.
+perfgate-ckpt:
+	$(GO) run ./cmd/perfgate -ckpt-overhead 1.0
 
 # The sampler/attribution/three-way-validation stack exercised under the
 # race detector: per-rank channels polled from rank goroutines while the

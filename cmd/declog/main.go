@@ -67,8 +67,11 @@ func main() {
 	if a.System == "" {
 		a.System = system
 	}
-	if a.Decisions == 0 {
-		fmt.Fprintln(os.Stderr, "declog: ledger holds no frequency decisions — nothing to audit")
+	// A recovery audit (crash/restart/budget timeline under a baseline or
+	// static strategy) legitimately has no frequency decisions; only bail
+	// when there are no anomalies to report either.
+	if a.Decisions == 0 && len(a.Anomalies) == 0 {
+		fmt.Fprintln(os.Stderr, "declog: ledger holds no frequency decisions or anomalies — nothing to audit")
 		os.Exit(1)
 	}
 
@@ -132,6 +135,8 @@ var anomalyTypes = []events.Type{
 	events.FreqBreakerTrip, events.FreqShortCircuit,
 	events.RankFail, events.Degradation,
 	events.SamplerDegraded, events.SamplerRecovered,
+	events.CheckpointSave, events.CheckpointRestore, events.Restart,
+	events.WatchdogStall, events.BudgetStop,
 }
 
 // analyze joins the ledger's decision stream with the tuner sweep it also

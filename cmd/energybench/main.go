@@ -14,9 +14,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 
+	"sphenergy/internal/atomicio"
 	"sphenergy/internal/cluster"
 	"sphenergy/internal/core"
 	"sphenergy/internal/sampler"
@@ -88,12 +90,11 @@ func main() {
 			results[i].AllocsPerOp, results[i].OverheadPct)
 	}
 
-	f, err := os.Create(*out)
-	fatalIf(err)
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	fatalIf(enc.Encode(results))
+	fatalIf(atomicio.WriteFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}))
 	fmt.Printf("results written to %s\n", *out)
 }
 

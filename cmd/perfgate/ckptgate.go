@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sphenergy/internal/cluster"
+	"sphenergy/internal/core"
+	"sphenergy/internal/recovery"
+)
+
+// ckptGate is the self-measured checkpoint-overhead gate: it times the same
+// small run with durability off and with -autosave-every 10 into a scratch
+// store, and fails when the supervised run costs more than frac over the
+// plain one (plus an absolute slack, since the base run is milliseconds and
+// scheduler noise alone can double it). Unlike the sphbench diff above it
+// needs no committed baseline — the run is its own control, so the gate is
+// machine-portable and catches gross regressions in snapshot encoding or
+// the store's write path.
+func ckptGate(frac float64, reps int, out io.Writer) int {
+	cfg := core.Config{
+		System:           cluster.MiniHPC(),
+		Ranks:            2,
+		Sim:              core.Turbulence,
+		ParticlesPerRank: 1e6,
+		Steps:            80,
+		Seed:             5,
+	}
+
+	plain, err := bestOf(reps, func() error {
+		_, err := core.Run(cfg)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate: plain run:", err)
+		return 1
+	}
+
+	dir, err := os.MkdirTemp("", "perfgate-ckpt-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	supervised, err := bestOf(reps, func() error {
+		// A fresh subdirectory per rep: resuming a finished run would be an
+		// instant no-op and measure nothing.
+		sub, err := os.MkdirTemp(dir, "rep-*")
+		if err != nil {
+			return err
+		}
+		_, _, err = core.RunSupervised(cfg, recovery.Config{Dir: sub, AutosaveEvery: 10})
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate: supervised run:", err)
+		return 1
+	}
+
+	// Absolute slack floors the allowance: on a millisecond-scale base run
+	// the ratio alone is all noise.
+	const slack = 50 * time.Millisecond
+	limit := time.Duration(float64(plain)*(1+frac)) + slack
+	overheadPct := 100 * (float64(supervised)/float64(plain) - 1)
+	if supervised > limit {
+		fmt.Fprintf(out, "perfgate: FAIL — checkpoint overhead: %v supervised vs %v plain (%+.0f%%, limit %v = +%.0f%% +%v)\n",
+			supervised.Round(time.Microsecond), plain.Round(time.Microsecond), overheadPct, limit.Round(time.Microsecond), 100*frac, slack)
+		return 1
+	}
+	fmt.Fprintf(out, "perfgate: OK — checkpoint overhead %+.0f%% (%v supervised vs %v plain, autosave-every 10, limit +%.0f%% +%v)\n",
+		overheadPct, supervised.Round(time.Microsecond), plain.Round(time.Microsecond), 100*frac, slack)
+	return 0
+}
+
+// bestOf returns the fastest of reps timed executions of f — min-of-N is
+// the standard noise filter for wall-clock micro-measurements.
+func bestOf(reps int, f func() error) (time.Duration, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

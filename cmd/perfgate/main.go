@@ -267,8 +267,13 @@ func run(args []string, out io.Writer) int {
 	smoke := fs.Bool("smoke", false, "relaxed CI tolerances for short runs")
 	totalFrac := fs.Float64("tol-total", -1, "override: allowed relative total-time increase (e.g. 0.35)")
 	shareAbs := fs.Float64("tol-share", -1, "override: allowed pass share-of-total drift (e.g. 0.10)")
+	ckptFrac := fs.Float64("ckpt-overhead", 0, "instead of the baseline diff, self-measure checkpoint overhead: fail when a supervised run (autosave-every 10) costs more than this fraction over an autosave-off run")
+	ckptReps := fs.Int("ckpt-reps", 3, "repetitions for the -ckpt-overhead measurement (min is taken)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *ckptFrac > 0 {
+		return ckptGate(*ckptFrac, *ckptReps, out)
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: perfgate [-smoke] [-baseline BENCH_sph.json] fresh.json")

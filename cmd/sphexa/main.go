@@ -24,12 +24,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"sphenergy"
 	"sphenergy/internal/core"
 	"sphenergy/internal/faults"
 	"sphenergy/internal/freqctl"
+	"sphenergy/internal/recovery"
 	"sphenergy/internal/report"
 	"sphenergy/internal/sampler"
 	"sphenergy/internal/slurm"
@@ -64,11 +66,20 @@ func main() {
 
 		faultPlan   = flag.String("fault-plan", "", "fault-injection plan: a JSON file path or inline JSON (see internal/faults)")
 		degradation = flag.String("degradation", "", "rank-failure degradation policy: abort, drop-rank or redistribute (default abort)")
+
+		ckptDir      = flag.String("checkpoint-dir", "", "durable checkpoint directory; enables supervised crash recovery")
+		autosave     = flag.Int("autosave-every", 10, "checkpoint every N completed steps (0 = final checkpoint only)")
+		keepCkpts    = flag.Int("keep-checkpoints", 0, "checkpoint retention depth (0 = default)")
+		maxRestarts  = flag.Int("max-restarts", 2, "bounded supervisor restarts after a crash or watchdog stall")
+		wallBudget   = flag.Float64("walltime-budget", 0, "stop gracefully once the simulated wall clock passes this many seconds (0 = unlimited)")
+		energyBudget = flag.Float64("energy-budget", 0, "stop gracefully once total allocation energy passes this many joules (0 = unlimited)")
 	)
 	flag.Parse()
 
+	var prof *telemetry.Profiler
 	if *cpuProfile != "" || *memProfile != "" {
-		prof, err := telemetry.StartProfiler(*cpuProfile, *memProfile)
+		var err error
+		prof, err = telemetry.StartProfiler(*cpuProfile, *memProfile)
 		fatalIf(err)
 		defer func() { fatalIf(prof.Close()) }()
 	}
@@ -155,17 +166,34 @@ func main() {
 			}
 		}
 	}
-	sigc := make(chan os.Signal, 1)
+	// With recovery on, the first signal requests a graceful stop: the run
+	// writes a final checkpoint at the next step boundary and sphexa exits
+	// 128+sig after flushing its outputs; a second signal (or any signal
+	// with recovery off) forces the old immediate flush-and-die path.
+	recoveryOn := *ckptDir != "" || *wallBudget > 0 || *energyBudget > 0
+	if recoveryOn && *validate {
+		fatalIf(fmt.Errorf("-energy-validate cannot be combined with -checkpoint-dir or budgets"))
+	}
+	var curCtl atomic.Pointer[recovery.Controller]
+	var sigCode atomic.Int32
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "sphexa: %v: flushing partial outputs\n", sig)
-		flushOutputs(os.Stderr)
-		code := 128 + int(syscall.SIGTERM)
-		if s, ok := sig.(syscall.Signal); ok {
-			code = 128 + int(s)
+		for sig := range sigc {
+			code := 128 + int(syscall.SIGTERM)
+			if s, ok := sig.(syscall.Signal); ok {
+				code = 128 + int(s)
+			}
+			if ctl := curCtl.Load(); ctl != nil && sigCode.Swap(int32(code)) == 0 {
+				fmt.Fprintf(os.Stderr,
+					"sphexa: %v: stopping gracefully with a final checkpoint (repeat to force quit)\n", sig)
+				ctl.RequestStop("signal:" + sig.String())
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "sphexa: %v: flushing partial outputs\n", sig)
+			flushOutputs(os.Stderr)
+			os.Exit(code)
 		}
-		os.Exit(code)
 	}()
 
 	switch {
@@ -196,8 +224,46 @@ func main() {
 		fatalIf(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	// exitWith flushes the profiler (os.Exit skips defers) before leaving
+	// with a contract code: 0 clean, 1 error, 3 budget-stop, 4 restarts
+	// exhausted, 128+sig signal stop.
+	exitWith := func(code int) {
+		if prof != nil {
+			prof.Close()
+		}
+		os.Exit(code)
+	}
+
 	var res *sphenergy.Result
-	if *validate {
+	var outcome *sphenergy.RecoveryOutcome
+	if recoveryOn {
+		rcfg := sphenergy.RecoveryConfig{
+			Dir:             *ckptDir,
+			AutosaveEvery:   *autosave,
+			Keep:            *keepCkpts,
+			MaxRestarts:     *maxRestarts,
+			Seed:            cfg.Seed,
+			WalltimeBudgetS: *wallBudget,
+			EnergyBudgetJ:   *energyBudget,
+			Events:          cfg.Events,
+			Metrics:         cfg.Metrics,
+			OnAttempt:       func(ctl *recovery.Controller) { curCtl.Store(ctl) },
+		}
+		var err error
+		res, outcome, err = sphenergy.RunSupervised(cfg, rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sphexa:", err)
+			if outcome != nil && outcome.Status == recovery.StatusRestartsExhausted {
+				flushOutputs(os.Stderr)
+				exitWith(4)
+			}
+			exitWith(1)
+		}
+		if outcome.Resumed {
+			fmt.Printf("recovery: resumed from step %d (%d attempt(s), %d restart(s))\n",
+				outcome.ResumeStep, outcome.Attempts, outcome.Restarts)
+		}
+	} else if *validate {
 		// Run as a Slurm job so the three-way validation can compare the
 		// sampled sensors and pm_counters against ConsumedEnergy accounting.
 		mgr := slurm.NewManager()
@@ -280,6 +346,21 @@ func main() {
 	if *eventsOut != "" {
 		fatalIf(cfg.Events.WriteFile(*eventsOut))
 		fmt.Printf("events written to %s (%d emitted)\n", *eventsOut, cfg.Events.Emitted())
+	}
+
+	if outcome != nil {
+		if rc := res.Recovery; rc != nil && rc.Checkpoints > 0 {
+			fmt.Printf("recovery: %d checkpoint(s) in %s (last %s)\n",
+				rc.Checkpoints, *ckptDir, rc.LastCheckpoint)
+		}
+		if outcome.Status == recovery.StatusStopped {
+			fmt.Printf("recovery: stopped early (%s) after %d step(s); resume by re-running with the same flags\n",
+				outcome.StopCause, len(res.StepBoundariesS))
+			if code := sigCode.Load(); code != 0 {
+				exitWith(int(code))
+			}
+			exitWith(3)
+		}
 	}
 }
 

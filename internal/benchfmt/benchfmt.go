@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"sphenergy/internal/atomicio"
 )
 
 // PassNames fixes the order and JSON keys of the timed pipeline passes
@@ -153,7 +155,7 @@ func (o *Output) WriteFile(path string) error {
 		return fmt.Errorf("benchfmt: %w", err)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := atomicio.WriteFileBytes(path, data); err != nil {
 		return fmt.Errorf("benchfmt: %w", err)
 	}
 	return nil

@@ -184,11 +184,7 @@ func (fs *faultState) report(smp *sampler.Sampler, reg *telemetry.Registry) *Fau
 	if fs == nil {
 		return nil
 	}
-	var injectors []*faults.Injector
-	injectors = append(injectors, fs.sensorInj...)
-	injectors = append(injectors, fs.clockInj...)
-	injectors = append(injectors, fs.rankInj...)
-	injectors = append(injectors, fs.nodeInj...)
+	injectors := fs.injectors()
 	rep := &FaultReport{
 		Plan:        fs.plan.Name,
 		Degradation: fs.policy,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sync"
 
@@ -14,6 +15,7 @@ import (
 	"sphenergy/internal/instr"
 	"sphenergy/internal/mpisim"
 	"sphenergy/internal/pmt"
+	"sphenergy/internal/recovery"
 	"sphenergy/internal/sampler"
 	"sphenergy/internal/telemetry"
 )
@@ -113,6 +115,13 @@ type Config struct {
 	// the ledger at the cost of one nil check per hook; an enabled ledger
 	// never perturbs the simulation (see internal/events).
 	Events *events.Ledger
+	// Recovery, when non-nil, makes the run durable and interruptible: the
+	// Controller receives a step-boundary hook for autosave checkpoints,
+	// watchdog heartbeats and budget enforcement, and Resume (when set)
+	// restores a snapshot before stepping instead of starting from step 0.
+	// A resumed run's model state is bit-identical to an uninterrupted one;
+	// see internal/recovery and RunSupervised. Nil keeps the seed behaviour.
+	Recovery *RunRecovery
 }
 
 // Defaulted returns the config with defaults filled in.
@@ -238,6 +247,9 @@ type Result struct {
 	// Events is the decision-ledger roll-up (emitted/dropped counts per
 	// type); nil when Config.Events was unset.
 	Events *events.Summary
+	// Recovery summarizes checkpoint/restore activity; nil when
+	// Config.Recovery was unset.
+	Recovery *RecoveryInfo
 }
 
 // EnergyJ returns total allocation energy.
@@ -325,6 +337,18 @@ func Run(cfg Config) (*Result, error) {
 		rt.attachTraceSink(trace, cfg.TraceRank)
 	}
 
+	// Checkpoint restore happens here — after every rank's setter, strategy
+	// and fault wiring exist, and before the sampler's t=0 baseline poll and
+	// the setup phase, whose effects the restored state already contains.
+	var resumed *resumedState
+	if cfg.Recovery != nil && cfg.Recovery.Resume != nil {
+		var err error
+		resumed, err = restoreRun(cfg.Recovery.Resume, cfg, system, world, ranks, fs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Async power sampling: one channel per rank GPU sensor, one
 	// pm_counters node channel per node. Rank channels poll from their own
 	// goroutines at kernel/idle boundaries; node channels poll from the
@@ -368,8 +392,8 @@ func Run(cfg Config) (*Result, error) {
 	// Job setup phase: launch, allocation, host→device transfer. GPUs are
 	// mostly idle (the paper's §IV-A observation that setup energy is
 	// limited because the GPUs idle through it); the host is busy staging.
-	var setupJ, setupGPU, setupCPU, setupMem, setupOther float64
-	if cfg.SetupS > 0 {
+	var setup setupEnergies
+	if cfg.SetupS > 0 && resumed == nil {
 		for r := 0; r < cfg.Ranks; r++ {
 			ranks[r].dev.Idle(cfg.SetupS)
 			world.Advance(r, cfg.SetupS)
@@ -378,33 +402,44 @@ func Run(cfg Config) (*Result, error) {
 			n.AdvanceHost(cfg.SetupS, 0.35, 0.40)
 		}
 		for _, n := range system.Nodes {
-			setupGPU += n.GPUEnergyJ()
-			setupCPU += n.CPUEnergyJ()
-			setupMem += n.Mem.Meter.EnergyJ()
-			setupOther += n.Aux.EnergyJ()
+			setup.GPU += n.GPUEnergyJ()
+			setup.CPU += n.CPUEnergyJ()
+			setup.Mem += n.Mem.Meter.EnergyJ()
+			setup.Other += n.Aux.EnergyJ()
 		}
-		setupJ = setupGPU + setupCPU + setupMem + setupOther
+		setup.Total = setup.GPU + setup.CPU + setup.Mem + setup.Other
 		if rt != nil {
 			rt.tr.Complete(telemetry.GlobalTrack, "phase", "job-setup", 0, cfg.SetupS,
-				telemetry.Float("energy_j", setupJ))
+				telemetry.Float("energy_j", setup.Total))
 		}
 		smp.PollAll()
 	}
 
 	// Strategy setup (once per rank, before the loop — the paper's
-	// instrumentation point at time-stepping start).
+	// instrumentation point at time-stepping start). A resumed run skips
+	// it: the restored device state already reflects it, and re-running it
+	// would reset governor/elision state mid-sequence and diverge.
 	re.beginRun(cfg, ranks[0].strategy.Name())
-	for _, rc := range ranks {
-		if err := rc.strategy.Setup(rc.setter); err != nil {
-			// Earlier ranks may already hold non-default clocks; fail()
-			// resets them all.
-			return fail(fmt.Errorf("core: strategy setup: %w", err))
+	if resumed == nil {
+		for _, rc := range ranks {
+			if err := rc.strategy.Setup(rc.setter); err != nil {
+				// Earlier ranks may already hold non-default clocks; fail()
+				// resets them all.
+				return fail(fmt.Errorf("core: strategy setup: %w", err))
+			}
 		}
 	}
 
 	vendor := cfg.System.GPUSpec.Vendor
 	t0 := world.MaxClock()
 	stepBounds := make([]float64, 0, cfg.Steps)
+	startStep := 0
+	if resumed != nil {
+		setup = resumed.setup
+		t0 = resumed.t0
+		stepBounds = append(stepBounds, resumed.stepBounds...)
+		startStep = resumed.nextStep
+	}
 
 	// Strategy failures inside rank goroutines surface as a run error
 	// rather than a panic; the first one wins.
@@ -422,16 +457,42 @@ func Run(cfg Config) (*Result, error) {
 	// every phase; curStep and load are written by the coordinator between
 	// phases only, ordered against the rank goroutines by the worker
 	// channel handoff.
-	curStep := 0
+	curStep := startStep
 	load := 1.0
+	if resumed != nil {
+		load = resumed.load
+		if re != nil {
+			// Degradation events fire on load transitions; seed the tracker
+			// so a restored multiplier does not re-fire spuriously.
+			re.lastLoad = load
+		}
+	}
 	fs.wireWorld(world, ranks, func() int { return curStep })
 	re.trackSteps(func() int { return curStep })
+
+	// A checkpoint is encoded lazily at a step boundary: nextStep is the
+	// first step a restore will execute; everything else is read from the
+	// loop's live variables at call time (the workers are idle then).
+	snapshotAt := func(nextStep int) func(w io.Writer) error {
+		return func(w io.Writer) error {
+			cp, err := captureCheckpoint(cfg, system, world, ranks, fs,
+				nextStep, t0, stepBounds, load, setup)
+			if err != nil {
+				return err
+			}
+			return cp.encode(w)
+		}
+	}
+	stopped := false
 
 	// Step telemetry reuses bounds the loop computes anyway: the step span
 	// runs from the previous step's boundary, and its energy accumulates
 	// from the per-rank attribution below — no extra clock or meter reads.
 	stepStart := t0
-	for step := 0; step < cfg.Steps; step++ {
+	if len(stepBounds) > 0 {
+		stepStart = stepBounds[len(stepBounds)-1]
+	}
+	for step := startStep; step < cfg.Steps; step++ {
 		curStep = step
 		stepJ := 0.0
 		// Verlet-skin modeling: refresh-only FindNeighbors steps run the
@@ -558,6 +619,18 @@ func Run(cfg Config) (*Result, error) {
 		if ferr != nil {
 			return fail(ferr)
 		}
+		// Recovery hook, last in the boundary so a step that killed the run
+		// is never checkpointed: autosave on cadence, watchdog heartbeat,
+		// budget/stop checks. Stop means a final checkpoint is already on
+		// disk and the partial result below is the graceful early exit.
+		if rcv := cfg.Recovery; rcv != nil && rcv.Controller != nil {
+			d := rcv.Controller.StepDone(step, bound-t0, systemEnergy(system),
+				recovery.Meta{Step: step + 1, TimeS: bound}, snapshotAt(step+1))
+			if d == recovery.Stop {
+				stopped = true
+				break
+			}
+		}
 	}
 
 	wall := world.MaxClock() - t0
@@ -580,10 +653,10 @@ func Run(cfg Config) (*Result, error) {
 		report.MemEnergyJ += n.Mem.Meter.EnergyJ()
 		report.OtherEnergyJ += n.Aux.EnergyJ()
 	}
-	report.GPUEnergyJ -= setupGPU
-	report.CPUEnergyJ -= setupCPU
-	report.MemEnergyJ -= setupMem
-	report.OtherEnergyJ -= setupOther
+	report.GPUEnergyJ -= setup.GPU
+	report.CPUEnergyJ -= setup.CPU
+	report.MemEnergyJ -= setup.Mem
+	report.OtherEnergyJ -= setup.Other
 	report.TotalEnergyJ = report.GPUEnergyJ + report.CPUEnergyJ + report.MemEnergyJ + report.OtherEnergyJ
 	rt.finish(wall, &reportTotals{
 		gpuJ: report.GPUEnergyJ, cpuJ: report.CPUEnergyJ,
@@ -611,7 +684,7 @@ func Run(cfg Config) (*Result, error) {
 		Trace:           trace,
 		StepBoundariesS: stepBounds,
 		SetupTimeS:      cfg.SetupS,
-		SetupEnergyJ:    setupJ,
+		SetupEnergyJ:    setup.Total,
 		Sampler:         smp,
 		Attribution:     attribution,
 		Events:          re.summary(),
@@ -620,6 +693,26 @@ func Run(cfg Config) (*Result, error) {
 		res.Failures = fs.failures
 		res.Faults = fs.report(smp, cfg.Metrics)
 		report.Faults = res.Faults
+	}
+	if rcv := cfg.Recovery; rcv != nil && rcv.Controller != nil {
+		if !stopped {
+			// Completion checkpoint: a later resume of a finished run is an
+			// instant no-op, and the final state stays auditable on disk.
+			rcv.Controller.Final(recovery.Meta{Step: len(stepBounds), TimeS: world.MaxClock()},
+				wall, snapshotAt(len(stepBounds)))
+		}
+		n, last := rcv.Controller.Saves()
+		info := &RecoveryInfo{
+			Checkpoints:    n,
+			LastCheckpoint: last,
+			Stopped:        stopped,
+			StopCause:      rcv.Controller.StopCause(),
+		}
+		if rcv.Resume != nil {
+			info.Resumed = true
+			info.ResumeStep = rcv.Resume.Snapshot.Meta.Step
+		}
+		res.Recovery = info
 	}
 	return res, nil
 }

@@ -26,6 +26,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"sphenergy/internal/atomicio"
 )
 
 // Type names a decision-event kind.
@@ -57,6 +59,14 @@ const (
 
 	NbrRebuild Type = "nbr-rebuild"
 	NbrRefresh Type = "nbr-refresh"
+
+	// Recovery family: one event per supervision decision, so cmd/declog
+	// can audit an interrupted run's full restart/budget timeline.
+	CheckpointSave    Type = "checkpoint-save"
+	CheckpointRestore Type = "checkpoint-restore"
+	Restart           Type = "restart"
+	WatchdogStall     Type = "watchdog-stall"
+	BudgetStop        Type = "budget-stop"
 )
 
 // builtinTypes pre-seeds the per-type counters so steady-state emits never
@@ -67,6 +77,7 @@ var builtinTypes = []Type{
 	FreqShortCircuit, TunerMeasure, TunerSelect,
 	SamplerDegraded, SamplerRecovered, RankFail, Degradation,
 	NbrRebuild, NbrRefresh,
+	CheckpointSave, CheckpointRestore, Restart, WatchdogStall, BudgetStop,
 }
 
 // Event is one ledger record. Fields are a flat union across the event
@@ -356,20 +367,13 @@ func (l *Ledger) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// WriteFile writes the JSONL export to path.
+// WriteFile writes the JSONL export to path atomically: a crash mid-write
+// never leaves a truncated ledger under the final name.
 func (l *Ledger) WriteFile(path string) error {
 	if l == nil {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("events: %w", err)
-	}
-	if err := l.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, l.WriteJSONL)
 }
 
 // ReadJSONL parses a ledger export. A malformed tail (a run killed

@@ -263,6 +263,46 @@ func (r *ResilientSetter) Broken() bool {
 	return r.broken
 }
 
+// ResilientState is a ResilientSetter's checkpointable state: jitter
+// stream position, breaker state, and counters. Inited distinguishes a
+// setter that never performed an operation (jitter stream not yet seeded).
+type ResilientState struct {
+	Inited bool
+	RNG    [4]uint64
+	Consec int
+	Broken bool
+	Stats  ResilienceStats
+}
+
+// State captures the setter's checkpointable state.
+func (r *ResilientSetter) State() ResilientState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ResilientState{Consec: r.consec, Broken: r.broken, Stats: r.stats}
+	if r.jit != nil {
+		st.Inited = true
+		st.RNG = r.jit.State()
+	}
+	return st
+}
+
+// RestoreState installs a state captured by State. A restored setter
+// retries, backs off, and trips its breaker exactly as the original
+// would have.
+func (r *ResilientSetter) RestoreState(st ResilientState) {
+	if st.Inited {
+		r.init()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st.Inited {
+		r.jit.SetState(st.RNG)
+	}
+	r.consec = st.Consec
+	r.broken = st.Broken
+	r.stats = st.Stats
+}
+
 // AttachFaultHook installs a back-end fault hook underneath a Setter,
 // unwrapping the resilience/mediation/instrumentation layers to reach the
 // vendor library. Returns false when the chain bottoms out in a setter

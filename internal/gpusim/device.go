@@ -465,3 +465,75 @@ func (d *Device) BusySeconds() float64 {
 	defer d.mu.Unlock()
 	return d.busyS
 }
+
+// DeviceState is a device's checkpointable state: clock management mode
+// and settings, governor position, virtual time, energy/power/utilization
+// accounting, and the ground-truth per-kernel counters. The trace buffer
+// and observer are observability wiring, not model state, and are not
+// captured. Kernel entries are sorted by name so the encoding is stable.
+type DeviceState struct {
+	Mode         int
+	LockedMHz    int
+	MemMHz       int
+	PowerLimitW  float64
+	GovCurrent   float64
+	GovHoldUntil float64
+	NowS         float64
+	EnergyJ      float64
+	LastPowerW   float64
+	BusyS        float64
+	UtilEMA      float64
+	KernelsRun   int64
+	Kernels      []KernelEnergy
+}
+
+// State captures the device's checkpointable state.
+func (d *Device) State() DeviceState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DeviceState{
+		Mode:         int(d.mode),
+		LockedMHz:    d.lockedMHz,
+		MemMHz:       d.memMHz,
+		PowerLimitW:  d.powerLimitW,
+		GovCurrent:   d.gov.current,
+		GovHoldUntil: d.gov.holdUntil,
+		NowS:         d.now,
+		EnergyJ:      d.energyJ,
+		LastPowerW:   d.lastPowerW,
+		BusyS:        d.busyS,
+		UtilEMA:      d.utilEMA,
+		KernelsRun:   d.kernelsRun,
+	}
+	for _, ks := range d.kstats {
+		st.Kernels = append(st.Kernels, *ks)
+	}
+	sort.Slice(st.Kernels, func(a, b int) bool { return st.Kernels[a].Name < st.Kernels[b].Name })
+	return st
+}
+
+// Restore installs a state captured by State, leaving the trace and
+// observer wiring untouched. A restored device continues the exact
+// trajectory of the original: governor position, boost hold, and energy
+// integration pick up where the snapshot left off.
+func (d *Device) Restore(st DeviceState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mode = ClockMode(st.Mode)
+	d.lockedMHz = st.LockedMHz
+	d.memMHz = st.MemMHz
+	d.powerLimitW = st.PowerLimitW
+	d.gov.current = st.GovCurrent
+	d.gov.holdUntil = st.GovHoldUntil
+	d.now = st.NowS
+	d.energyJ = st.EnergyJ
+	d.lastPowerW = st.LastPowerW
+	d.busyS = st.BusyS
+	d.utilEMA = st.UtilEMA
+	d.kernelsRun = st.KernelsRun
+	d.kstats = make(map[string]*KernelEnergy, len(st.Kernels))
+	for _, ks := range st.Kernels {
+		cp := ks
+		d.kstats[ks.Name] = &cp
+	}
+}

@@ -4,8 +4,9 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
+
+	"sphenergy/internal/atomicio"
 )
 
 // csvHeader is the column set of the per-function CSV export, the format
@@ -45,14 +46,12 @@ func (r *Report) WriteCSV(w io.Writer) error {
 
 func formatF(v float64) string { return strconv.FormatFloat(v, 'g', 12, 64) }
 
-// WriteCSVFile writes the CSV export to path.
+// WriteCSVFile writes the CSV export to path, atomically.
 func (r *Report) WriteCSVFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := atomicio.WriteFile(path, r.WriteCSV); err != nil {
 		return fmt.Errorf("instr: %w", err)
 	}
-	defer f.Close()
-	return r.WriteCSV(f)
+	return nil
 }
 
 // ReadCSV parses rows written by WriteCSV back into per-rank profiles.

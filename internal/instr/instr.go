@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"sphenergy/internal/atomicio"
 	"sphenergy/internal/attrib"
 	"sphenergy/internal/faults"
 )
@@ -284,14 +285,12 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteFile writes the report to path.
+// WriteFile writes the report to path, atomically (write-temp-then-rename).
 func (r *Report) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := atomicio.WriteFile(path, r.WriteJSON); err != nil {
 		return fmt.Errorf("instr: %w", err)
 	}
-	defer f.Close()
-	return r.WriteJSON(f)
+	return nil
 }
 
 // ReadReport parses a report written by WriteFile. Each rank's function

@@ -11,6 +11,7 @@
 package mpisim
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -378,6 +379,49 @@ func (w *World) Synchronize(durs []float64) []float64 {
 		}
 	}
 	return waits
+}
+
+// WorldState is a World's checkpointable state: the virtual clocks,
+// liveness, failure history, and the exact position of every per-rank
+// jitter stream. A restored world continues the same deterministic
+// trajectory the original would have.
+type WorldState struct {
+	Clocks   []float64
+	Alive    []bool
+	Failures []RankFailure
+	Jitter   [][4]uint64
+}
+
+// State captures the world's checkpointable state.
+func (w *World) State() WorldState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WorldState{
+		Clocks:   append([]float64(nil), w.clocks...),
+		Alive:    append([]bool(nil), w.alive...),
+		Failures: append([]RankFailure(nil), w.failures...),
+	}
+	for _, j := range w.jitter {
+		st.Jitter = append(st.Jitter, j.State())
+	}
+	return st
+}
+
+// Restore installs a state captured by State on a world of the same size.
+func (w *World) Restore(st WorldState) error {
+	if len(st.Clocks) != w.Size || len(st.Alive) != w.Size || len(st.Jitter) != w.Size {
+		return fmt.Errorf("mpisim: restore size mismatch: world has %d ranks, state has %d/%d/%d",
+			w.Size, len(st.Clocks), len(st.Alive), len(st.Jitter))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	copy(w.clocks, st.Clocks)
+	copy(w.alive, st.Alive)
+	w.failures = append(w.failures[:0], st.Failures...)
+	for i, s := range st.Jitter {
+		w.jitter[i].SetState(s)
+	}
+	return nil
 }
 
 // MaxClock returns the furthest-advanced rank clock (the job's wall time).

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"sphenergy/internal/atomicio"
 )
 
 // Checkpoint I/O: production SPH codes periodically dump the particle state
@@ -211,14 +213,13 @@ func ReadCheckpoint(r io.Reader, opt Options) (*State, error) {
 	return st, nil
 }
 
-// SaveCheckpointFile writes the checkpoint to a file.
+// SaveCheckpointFile writes the checkpoint to a file, atomically: a kill
+// mid-write leaves any previous checkpoint at path intact.
 func (s *State) SaveCheckpointFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := atomicio.WriteFile(path, s.WriteCheckpoint); err != nil {
 		return fmt.Errorf("sph: checkpoint: %w", err)
 	}
-	defer f.Close()
-	return s.WriteCheckpoint(f)
+	return nil
 }
 
 // LoadCheckpointFile reads a checkpoint from a file.

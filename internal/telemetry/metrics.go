@@ -5,12 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"sphenergy/internal/atomicio"
 )
 
 // Label is one metric dimension (e.g. rank="3", kernel="momentumEnergy").
@@ -567,14 +568,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(map[string]any{"metrics": r.Snapshot()})
 }
 
-// WriteFile writes the JSON snapshot to path.
+// WriteFile writes the JSON snapshot to path, atomically: a crash or kill
+// mid-write never leaves a truncated snapshot behind.
 func (r *Registry) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("telemetry: %w", err)
-	}
-	defer f.Close()
-	if err := r.WriteJSON(f); err != nil {
+	if err := atomicio.WriteFile(path, r.WriteJSON); err != nil {
 		return fmt.Errorf("telemetry: write metrics: %w", err)
 	}
 	return nil

@@ -20,8 +20,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sync"
+
+	"sphenergy/internal/atomicio"
 )
 
 // attrKind tags the payload of an Attr.
@@ -504,14 +505,10 @@ func (e *fastEvent) jsonObject(tid int, d *spanDesc) map[string]any {
 	return obj
 }
 
-// WriteFile writes the Chrome trace JSON to path.
+// WriteFile writes the Chrome trace JSON to path, atomically: a crash or
+// kill mid-write never leaves a truncated trace behind.
 func (t *Tracer) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("telemetry: %w", err)
-	}
-	defer f.Close()
-	if err := t.WriteJSON(f); err != nil {
+	if err := atomicio.WriteFile(path, t.WriteJSON); err != nil {
 		return fmt.Errorf("telemetry: write trace: %w", err)
 	}
 	return nil

@@ -44,6 +44,7 @@ import (
 	"sphenergy/internal/freqctl"
 	"sphenergy/internal/gpusim"
 	"sphenergy/internal/instr"
+	"sphenergy/internal/recovery"
 	"sphenergy/internal/telemetry"
 	"sphenergy/internal/tuner"
 )
@@ -74,6 +75,23 @@ type Strategy = freqctl.Strategy
 
 // Run executes an instrumented simulation run.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RecoveryConfig aliases the supervision configuration: durable
+// checkpoint cadence and retention, bounded restarts with seeded backoff,
+// wall-clock/energy budgets, and the hung-step watchdog.
+type RecoveryConfig = recovery.Config
+
+// RecoveryOutcome aliases the supervised-run summary (status, attempts,
+// restarts, watchdog stalls, resume point).
+type RecoveryOutcome = recovery.Outcome
+
+// RunSupervised executes a run under crash supervision: it restores the
+// newest valid checkpoint from RecoveryConfig.Dir, runs, and on a crash,
+// panic, or watchdog stall restarts from disk up to MaxRestarts times.
+// A resumed run's model results are bit-identical to an uninterrupted one.
+func RunSupervised(cfg Config, rcfg RecoveryConfig) (*Result, *RecoveryOutcome, error) {
+	return core.RunSupervised(cfg, rcfg)
+}
 
 // Tracer aliases the telemetry span tracer: set Config.Tracer to record the
 // run's timeline and export it as Chrome trace_event JSON.
