@@ -127,27 +127,31 @@ perfgate:
 	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -out /tmp/BENCH_sph_fresh.json
 	$(GO) run ./cmd/perfgate -baseline BENCH_sph.json /tmp/BENCH_sph_fresh.json
 
-# Fast sentinel for `check`: fewer steps, relaxed -smoke tolerances — only
-# gross regressions (a pass's share of step time jumping, allocs blowing
-# up, skin reuse breaking) fail the gate.
+# Fast sentinel for `check`: relaxed -smoke tolerances — only gross
+# regressions (a pass's share of step time jumping, allocs blowing up,
+# skin reuse breaking, the cell-slab rebuild win collapsing) fail the
+# gate. 4 measured steps so the ~4-step rebuild cadence lands one rebuild
+# inside the measured window — fewer steps leave the rebuild-split floors
+# unmeasured and silently skipped.
 perfgate-smoke:
-	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 2 -warmup 1 -out /tmp/BENCH_sph_smoke.json
+	$(GO) run ./cmd/sphbench -sizes 20,30 -steps 4 -warmup 1 -out /tmp/BENCH_sph_smoke.json
 	$(GO) run ./cmd/perfgate -smoke -baseline BENCH_sph.json /tmp/BENCH_sph_smoke.json
 
 # Fast correctness/liveness gate for `check`: a tiny sphbench run (exercises
-# all four pipelines end to end — closure walk, rebuilt list, Verlet skin
-# and the symmetric folded pair path; the multi-step run gives the skin
-# real refresh steps), the walk-vs-list, skin-vs-rebuild and
-# symmetric-vs-asymmetric equivalence tests plus the skin and fold edge
-# cases (drift threshold, overflow/ngmax fallback, mid-interval restart,
-# bit-identical opt-out, float32-kernel verdict), the zero-allocation
-# regressions on the reusable grid build and the folded passes, and a
-# one-shot pass over the SPH micro-benchmarks.
+# all five pipelines end to end — closure walk, rebuilt list, Verlet skin,
+# the symmetric folded pair path and the cell-slab sweep; the multi-step
+# run gives the skin real refresh steps), the walk-vs-list,
+# skin-vs-rebuild, symmetric-vs-asymmetric and cell-slab bit-identity
+# equivalence tests plus the skin and fold edge cases (drift threshold,
+# overflow/ngmax fallback, mid-interval restart, bit-identical opt-out,
+# float32-kernel verdict), the zero-allocation regressions on the reusable
+# grid build, the folded passes and the slab gather, and a one-shot pass
+# over the SPH micro-benchmarks.
 bench-sph-smoke:
 	$(GO) run ./cmd/sphbench -sizes 8 -steps 1 -warmup 1 -out /dev/null
 	$(GO) run ./cmd/sphbench -sizes 10 -steps 4 -warmup 1 -out /dev/null
-	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline|Skin|Symmetric|Float32' -count=1 ./internal/sph/
-	$(GO) test -run 'ZeroSteadyStateAllocs|QueryZeroAllocs|IntoMatchesBuildGrid' -count=1 ./internal/neighbors/
+	$(GO) test -run 'NeighborListMatchesWalk|NgmaxOverflow|TabulatedKernelPipeline|Skin|Symmetric|Float32|CellSlab' -count=1 ./internal/sph/
+	$(GO) test -run 'ZeroSteadyStateAllocs|QueryZeroAllocs|IntoMatchesBuildGrid|SlabGather' -count=1 ./internal/neighbors/
 	$(GO) test -run xxx -bench 'SPHStep$$' -benchtime 1x ./...
 
 # Decision-observability gate for `check`: a tiny tuned run with the event

@@ -74,6 +74,15 @@ type Tolerances struct {
 	// over the asymmetric skin list on the pair-interaction passes.
 	// Checked only when the fresh run measured it; <= 0 disables.
 	SymFoldedMin float64
+	// CellSlabMin is the absolute floor on the fresh run's
+	// speedup_cellslab_rebuild — the tracked win of the cell-slab folded
+	// gather over the walk-gathered symmetric rebuild. The contract is
+	// defined in the dense regime, so it is asserted at the largest
+	// measured size only; smaller sizes (fixed per-rebuild overheads on a
+	// cheaper gather) are still guarded by the baseline-relative
+	// SpeedupFrac check. Checked only when the fresh run measured it;
+	// <= 0 disables.
+	CellSlabMin float64
 	// EffProcs/EffFloor assert the folded passes' parallel efficiency
 	// t1/(P·tP) at P = EffProcs from the fresh run's GOMAXPROCS sweep.
 	// Skipped when the sweep is absent, lacks the needed points, or the
@@ -94,6 +103,7 @@ func Default() Tolerances {
 		AllocFrac:   0.25, AllocAbs: 64,
 		CountSlack: 1, IntervalFrac: 0.5,
 		SymFoldedMin: 1.4,
+		CellSlabMin:  1.4,
 		EffProcs:     4, EffFloor: 0.65,
 	}
 }
@@ -109,6 +119,7 @@ func Smoke() Tolerances {
 		AllocFrac:   1.0, AllocAbs: 256,
 		CountSlack: 2, IntervalFrac: 1.0,
 		SymFoldedMin: 1.15,
+		CellSlabMin:  1.15,
 		EffProcs:     4, EffFloor: 0.5,
 	}
 }
@@ -121,6 +132,12 @@ func Gate(base, fresh *benchfmt.Output, tol Tolerances) []string {
 		fails = append(fails, fmt.Sprintf(format, args...))
 	}
 
+	maxSide := 0
+	for i := range base.Sizes {
+		if s := base.Sizes[i].NSide; s > maxSide {
+			maxSide = s
+		}
+	}
 	for i := range base.Sizes {
 		bs := &base.Sizes[i]
 		fs := fresh.Size(bs.NSide)
@@ -156,11 +173,24 @@ func Gate(base, fresh *benchfmt.Output, tol Tolerances) []string {
 		checkSpeedup("speedup_find_neighbors_skin", bs.SpeedupFindNeighborsSkin, fs.SpeedupFindNeighborsSkin)
 		checkSpeedup("speedup_symmetric_folded", bs.SpeedupSymFolded, fs.SpeedupSymFolded)
 		checkSpeedup("speedup_symmetric_total", bs.SpeedupSymTotal, fs.SpeedupSymTotal)
-		// The folded pair path carries an absolute performance contract on
-		// top of the baseline-relative drift checks.
+		// The rebuild-split speedup is only defined when the fresh run's
+		// measured window contained a rebuild step (a short run whose
+		// rebuilds all fell in warm-up reports 0 = unmeasured); the
+		// missing-mode check still catches the mode disappearing entirely.
+		if fs.SpeedupCellSlabRebuild > 0 {
+			checkSpeedup("speedup_cellslab_rebuild", bs.SpeedupCellSlabRebuild, fs.SpeedupCellSlabRebuild)
+		}
+		// The folded pair path and the cell-slab gather carry absolute
+		// performance contracts on top of the baseline-relative drift
+		// checks.
 		if tol.SymFoldedMin > 0 && fs.SpeedupSymFolded > 0 && fs.SpeedupSymFolded < tol.SymFoldedMin {
 			failf("size %d³: speedup_symmetric_folded %.2fx below the %.2fx floor",
 				bs.NSide, fs.SpeedupSymFolded, tol.SymFoldedMin)
+		}
+		if tol.CellSlabMin > 0 && bs.NSide == maxSide &&
+			fs.SpeedupCellSlabRebuild > 0 && fs.SpeedupCellSlabRebuild < tol.CellSlabMin {
+			failf("size %d³: speedup_cellslab_rebuild %.2fx below the %.2fx floor",
+				bs.NSide, fs.SpeedupCellSlabRebuild, tol.CellSlabMin)
 		}
 		checkEfficiency(fresh, fs, tol, failf)
 	}
@@ -181,6 +211,9 @@ func checkEfficiency(fresh *benchfmt.Output, fs *benchfmt.SizeResult,
 	}
 	var t1, tp float64
 	for i := range fs.Sweep {
+		if fs.Sweep[i].Skipped {
+			continue
+		}
 		switch fs.Sweep[i].Procs {
 		case 1:
 			t1 = benchfmt.FoldedNs(fs.Sweep[i].NsPerParticleStep)

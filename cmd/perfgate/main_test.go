@@ -235,6 +235,35 @@ func TestGateSymmetricFoldedFloor(t *testing.T) {
 	}
 }
 
+func TestGateCellSlabFloor(t *testing.T) {
+	base := sampleBench()
+	s30 := base.Sizes[0]
+	s30.NSide = 30
+	s30.N = 27000
+	base.Sizes = append(base.Sizes, s30)
+	base.Sizes[0].SpeedupCellSlabRebuild = 1.25
+	base.Sizes[1].SpeedupCellSlabRebuild = 1.55
+
+	// The absolute floor is a dense-regime contract, asserted at the
+	// largest measured size only: a smaller size under 1.4x passes as long
+	// as the largest size holds.
+	c := clone(t, base)
+	c.Sizes[0].SpeedupCellSlabRebuild = 1.2
+	if fails := Gate(base, c, Default()); len(fails) != 0 {
+		t.Fatalf("small-size 1.2x tripped the largest-size floor: %v", fails)
+	}
+
+	c2 := clone(t, base)
+	c2.Sizes[1].SpeedupCellSlabRebuild = 1.2
+	fails := Gate(base, c2, Default())
+	if len(fails) == 0 {
+		t.Fatal("1.2x cell-slab speedup at the largest size passed the 1.4x floor")
+	}
+	if !strings.Contains(strings.Join(fails, "\n"), "speedup_cellslab_rebuild") {
+		t.Errorf("failures do not mention the cell-slab floor: %v", fails)
+	}
+}
+
 func TestGateParallelEfficiencyFloor(t *testing.T) {
 	base := sampleBench()
 	degrade := func(o *benchfmt.Output) {

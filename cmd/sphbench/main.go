@@ -1,10 +1,12 @@
 // Command sphbench measures the real SPH compute layer pass by pass — the
 // per-function decomposition the paper attributes energy to — and writes
 // the results as machine-readable JSON for regression tracking. Each
-// problem size is run four times: with the legacy closure-walk pipeline,
+// problem size is run five times: with the legacy closure-walk pipeline,
 // with the persistent neighbor list rebuilt every step, with the
-// Verlet-skin list that amortizes rebuilds across steps, and with the
-// symmetric folded pair list that visits each interaction once — so the
+// Verlet-skin list that amortizes rebuilds across steps, with the
+// symmetric folded pair list that visits each interaction once, and with
+// the cell-slab gather sweeping candidates cell by cell on top of the
+// symmetric skin mode — so the
 // file records its own before/after comparisons and future PRs diff
 // against a stable schema (internal/benchfmt; cmd/perfgate is the
 // consumer).
@@ -48,11 +50,13 @@ var passMetrics *telemetry.Registry
 // advance identical trajectories and the comparison is pure pipeline cost.
 // skin < 0 keeps the default Verlet skin; skin == 0 pins the
 // rebuild-every-step list. symmetric enables the folded pair-interaction
-// path on top of the list.
-func runMode(nSide, warmup, steps int, closureWalk, symmetric bool, skin float64) (benchfmt.ModeResult, int) {
+// path on top of the list; cellSlab the cell-slab candidate gather on top
+// of that.
+func runMode(nSide, warmup, steps int, closureWalk, symmetric, cellSlab bool, skin float64) (benchfmt.ModeResult, int) {
 	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(nSide))
 	opt.ClosureWalk = closureWalk
 	opt.SymmetricPairs = symmetric
+	opt.CellSlab = cellSlab
 	opt.ReorderEvery = 0
 	if skin >= 0 {
 		opt.Skin = skin
@@ -130,22 +134,36 @@ func runMode(nSide, warmup, steps int, closureWalk, symmetric bool, skin float64
 		if refreshes > 0 {
 			res.RefreshNsPerParticle = refreshS * 1e9 / (float64(p.N) * float64(refreshes))
 		}
+		if cellSlab && rebuilds > 0 {
+			gatherS := st.NbrStats.GatherSeconds - statsBase.GatherSeconds
+			filterS := st.NbrStats.FilterSeconds - statsBase.FilterSeconds
+			res.GatherNsPerParticle = gatherS * 1e9 / (float64(p.N) * float64(rebuilds))
+			res.FilterNsPerParticle = filterS * 1e9 / (float64(p.N) * float64(rebuilds))
+		}
 	}
 	return res, opt.NgTarget
 }
 
 // runSweep measures the symmetric skin-mode pipeline at each GOMAXPROCS
 // setting and derives per-pass parallel efficiency t1/(P·tP) against the
-// sweep's lowest-proc point (exact t1 when the list includes 1).
-// GOMAXPROCS is restored afterwards.
+// sweep's lowest-proc measured point (exact t1 when the list includes 1).
+// Points whose worker count exceeds the machine's logical CPUs are
+// recorded as skipped rather than measured: oversubscribed workers time
+// scheduler contention, not scaling, and would poison the efficiency
+// fields. GOMAXPROCS is restored afterwards.
 func runSweep(nSide, warmup, steps int, procs []int) []benchfmt.SweepPoint {
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
 
 	points := make([]benchfmt.SweepPoint, 0, len(procs))
 	for _, p := range procs {
+		if p > runtime.NumCPU() {
+			points = append(points, benchfmt.SweepPoint{Procs: p, Skipped: true})
+			fmt.Printf("  gomaxprocs %d: skipped (only %d CPUs)\n", p, runtime.NumCPU())
+			continue
+		}
 		runtime.GOMAXPROCS(p)
-		mode, _ := runMode(nSide, warmup, steps, false, true, -1)
+		mode, _ := runMode(nSide, warmup, steps, false, true, false, -1)
 		points = append(points, benchfmt.SweepPoint{
 			Procs:             p,
 			NsPerParticleStep: mode.NsPerParticleStep,
@@ -154,9 +172,21 @@ func runSweep(nSide, warmup, steps int, procs []int) []benchfmt.SweepPoint {
 		fmt.Printf("  gomaxprocs %d: %.1f ms/step\n", p, mode.StepMs)
 	}
 
-	base := points[0]
+	var base *benchfmt.SweepPoint
+	for i := range points {
+		if !points[i].Skipped {
+			base = &points[i]
+			break
+		}
+	}
+	if base == nil {
+		return points
+	}
 	for i := range points {
 		pt := &points[i]
+		if pt.Skipped {
+			continue
+		}
 		pt.SpeedupVs1 = base.StepMs / pt.StepMs
 		pt.Efficiency = make(map[string]float64, len(pt.NsPerParticleStep))
 		scale := float64(base.Procs) / float64(pt.Procs)
@@ -227,13 +257,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("size %d³ (%d particles): closure walk...", nSide, nSide*nSide*nSide)
-		walk, ngTarget := runMode(nSide, *warmup, *steps, true, false, 0)
+		walk, ngTarget := runMode(nSide, *warmup, *steps, true, false, false, 0)
 		fmt.Printf(" %.1f ms/step; neighbor list...", walk.StepMs)
-		list, _ := runMode(nSide, *warmup, *steps, false, false, 0)
+		list, _ := runMode(nSide, *warmup, *steps, false, false, false, 0)
 		fmt.Printf(" %.1f ms/step; verlet skin...", list.StepMs)
-		skin, _ := runMode(nSide, *warmup, *steps, false, false, -1)
+		skin, _ := runMode(nSide, *warmup, *steps, false, false, false, -1)
 		fmt.Printf(" %.1f ms/step; symmetric pairs...", skin.StepMs)
-		symm, _ := runMode(nSide, *warmup, *steps, false, true, -1)
+		symm, _ := runMode(nSide, *warmup, *steps, false, true, false, -1)
+		fmt.Printf(" %.1f ms/step; cell slab...", symm.StepMs)
+		slab, _ := runMode(nSide, *warmup, *steps, false, true, true, -1)
 		sr := benchfmt.SizeResult{
 			NSide:    nSide,
 			N:        nSide * nSide * nSide,
@@ -245,6 +277,7 @@ func main() {
 				"neighbor_list":           list,
 				"neighbor_list_skin":      skin,
 				"neighbor_list_symmetric": symm,
+				"neighbor_list_cellslab":  slab,
 			},
 			SpeedupTotal:             walk.StepMs / list.StepMs,
 			SpeedupSkin:              list.StepMs / skin.StepMs,
@@ -252,9 +285,12 @@ func main() {
 			SpeedupSymFolded:         benchfmt.FoldedNs(skin.NsPerParticleStep) / benchfmt.FoldedNs(symm.NsPerParticleStep),
 			SpeedupSymTotal:          skin.StepMs / symm.StepMs,
 		}
-		fmt.Printf(" %.1f ms/step (list %.2fx walk, skin %.2fx list, find_neighbors %.2fx, sym folded %.2fx, sym total %.2fx)\n",
-			symm.StepMs, sr.SpeedupTotal, sr.SpeedupSkin, sr.SpeedupFindNeighborsSkin,
-			sr.SpeedupSymFolded, sr.SpeedupSymTotal)
+		if slab.RebuildNsPerParticle > 0 {
+			sr.SpeedupCellSlabRebuild = symm.RebuildNsPerParticle / slab.RebuildNsPerParticle
+		}
+		fmt.Printf(" %.1f ms/step (list %.2fx walk, skin %.2fx list, find_neighbors %.2fx, sym folded %.2fx, sym total %.2fx, slab rebuild %.2fx)\n",
+			slab.StepMs, sr.SpeedupTotal, sr.SpeedupSkin, sr.SpeedupFindNeighborsSkin,
+			sr.SpeedupSymFolded, sr.SpeedupSymTotal, sr.SpeedupCellSlabRebuild)
 		if len(sweepProcs) > 0 {
 			fmt.Printf("  gomaxprocs sweep %v on symmetric skin mode:\n", sweepProcs)
 			sr.Sweep = runSweep(nSide, *warmup, *steps, sweepProcs)

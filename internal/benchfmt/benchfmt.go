@@ -67,6 +67,11 @@ type ModeResult struct {
 	RebuildIntervalSteps float64 `json:"rebuild_interval_steps,omitempty"`
 	RebuildNsPerParticle float64 `json:"find_neighbors_rebuild_ns_per_particle,omitempty"`
 	RefreshNsPerParticle float64 `json:"find_neighbors_refresh_ns_per_particle,omitempty"`
+	// Cell-slab extras (neighbor_list_cellslab mode only): the rebuild cost
+	// split into the slab candidate gather and the blocked re-filter, per
+	// particle per rebuild.
+	GatherNsPerParticle float64 `json:"find_neighbors_gather_ns_per_particle,omitempty"`
+	FilterNsPerParticle float64 `json:"find_neighbors_filter_ns_per_particle,omitempty"`
 }
 
 // SweepPoint is one GOMAXPROCS setting of the multicore sweep, run on the
@@ -80,6 +85,10 @@ type SweepPoint struct {
 	// Efficiency maps each pass (plus "total") to its parallel efficiency
 	// t1/(P·tP) against the sweep's 1-proc point — 1.0 is perfect scaling.
 	Efficiency map[string]float64 `json:"parallel_efficiency"`
+	// Skipped marks sweep points whose worker count exceeds the machine's
+	// logical CPUs: running them would measure oversubscription, not
+	// scaling, so sphbench records the point without timings instead.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // SizeResult is one problem size's before/after measurement.
@@ -103,6 +112,10 @@ type SizeResult struct {
 	// steps.
 	SpeedupSymFolded float64 `json:"speedup_symmetric_folded,omitempty"`
 	SpeedupSymTotal  float64 `json:"speedup_symmetric_total,omitempty"`
+	// SpeedupCellSlabRebuild is the find_neighbors rebuild-step cost of
+	// neighbor_list_symmetric over neighbor_list_cellslab — the win of the
+	// cell-slab folded gather on the candidate rebuild itself.
+	SpeedupCellSlabRebuild float64 `json:"speedup_cellslab_rebuild,omitempty"`
 	// Sweep holds the optional GOMAXPROCS sweep (-gomaxprocs), ascending
 	// by Procs. SweepMode names the pipeline mode the sweep ran on
 	// (neighbor_list_symmetric once the symmetric path became the default

@@ -50,6 +50,36 @@ func TestGridQueryZeroAllocs(t *testing.T) {
 	}
 }
 
+// The slab sweep's scratch (SoA slabs, bucket counters, spill buffers)
+// must likewise reach a zero-allocation steady state: cell-slab mode runs
+// it on every candidate rebuild. n stays below slabSerialMinN so the sweep
+// runs serially (goroutine spawns allocate by design).
+func TestSlabGatherZeroSteadyStateAllocs(t *testing.T) {
+	box := sfc.NewPeriodicCube(0, 1)
+	const n = 8000
+	x, y, z := randomPoints(box, n, 19)
+	cut := mixedCuts(n, 0.08, 41)
+	g := BuildGrid(box, x, y, z, 0.08)
+
+	var ss SlabSweep
+	// Warm-up: the first sweeps size the slabs and grow the spill buffers.
+	off, idx, r2, ok := ss.Gather(g, cut, nil, nil, nil)
+	if !ok {
+		t.Fatal("sweep rejected the grid")
+	}
+	off, idx, r2, _ = ss.Gather(g, cut, off, idx, r2)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		off, idx, r2, _ = ss.Gather(g, cut, off, idx, r2)
+	})
+	if allocs != 0 {
+		t.Errorf("warm slab Gather allocates %.1f objects/run, want 0", allocs)
+	}
+	if off[n] == 0 || len(idx) == 0 {
+		t.Error("sweep found no candidates; test inputs are degenerate")
+	}
+}
+
 // BuildGridInto must produce exactly the layout BuildGrid does — same cells,
 // same particle order — whether building fresh or overwriting a grid that
 // previously held a different point set.

@@ -105,6 +105,44 @@ func ForChunked(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ForWorkers splits [0, n) into at most workers contiguous aligned chunks
+// and executes fn(w, lo, hi) for each concurrently, passing the chunk
+// ordinal w. Unlike ForChunked the caller chooses the worker count, and the
+// ordinal lets it keep per-worker scratch (e.g. the cell-slab sweep's spill
+// buffers) without any pooling or locking. workers <= 1 runs fn(0, 0, n)
+// inline on the calling goroutine, so serial callers pay no spawn cost.
+// The partition is a pure function of (n, workers).
+func ForWorkers(n, workers int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := chunkSize(n, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // SumFloat64 computes sum over i in [0, n) of fn(i) with a parallel
 // tree-free reduction (one partial per worker, summed deterministically in
 // worker order).

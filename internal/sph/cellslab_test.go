@@ -1,0 +1,307 @@
+package sph_test
+
+// Cell-slab neighbor construction tests: CellSlab mode must reproduce the
+// walk-gathered pipeline bit for bit (same candidate CSR, same admitted
+// lists, same physics), engage on realistic problems rather than silently
+// falling back, and replay the same checkpoint/restart schedule.
+//
+// The sweep is only feasible once the grid has ≥4 cells per axis, so the
+// very first build (large pre-adaptation smoothing lengths → coarse grid)
+// always falls back to the walk; tests run enough steps for the adapted
+// rebuilds to engage the slab path and assert via NbrStats.GatherSeconds
+// that they actually did.
+
+import (
+	"bytes"
+	"testing"
+
+	"sphenergy/internal/initcond"
+	"sphenergy/internal/sph"
+)
+
+// TestCellSlabBitIdenticalTurbulence pins the core contract: a CellSlab run
+// is byte-identical to the default walk-gathered run — not merely within
+// tolerance — because the slab sweep emits the exact candidate CSR the
+// per-row walk does and the filter reuses the classic admission arithmetic.
+func TestCellSlabBitIdenticalTurbulence(t *testing.T) {
+	run := func(cellSlab bool) *sph.State {
+		p, opt := initcond.Turbulence(initcond.DefaultTurbulence(16))
+		opt.NgTarget = 32
+		opt.ReorderEvery = 2
+		opt.SymmetricPairs = true
+		opt.CellSlab = cellSlab
+		st := sph.NewState(p, opt)
+		for s := 0; s < 8; s++ {
+			st.RunStep(nil)
+		}
+		return st
+	}
+	slab := run(true)
+	walk := run(false)
+
+	if slab.NbrStats.GatherSeconds == 0 {
+		t.Fatalf("slab gather never engaged (stats %+v); the mode fell back to the walk throughout", slab.NbrStats)
+	}
+	if walk.NbrStats.GatherSeconds != 0 {
+		t.Fatal("walk run reported slab gather time")
+	}
+
+	ps, pw := slab.P, walk.P
+	fields := []struct {
+		name string
+		a, b []float64
+	}{
+		{"x", ps.X, pw.X}, {"y", ps.Y, pw.Y}, {"z", ps.Z, pw.Z},
+		{"vx", ps.VX, pw.VX}, {"h", ps.H, pw.H},
+		{"rho", ps.Rho, pw.Rho}, {"u", ps.U, pw.U}, {"ax", ps.AX, pw.AX},
+	}
+	for _, f := range fields {
+		for i := range f.a {
+			if f.a[i] != f.b[i] {
+				t.Fatalf("%s[%d] differs between CellSlab and walk gather: %.17g vs %.17g",
+					f.name, i, f.a[i], f.b[i])
+			}
+		}
+	}
+	for i := range ps.NC {
+		if ps.NC[i] != pw.NC[i] {
+			t.Fatalf("NC[%d] differs: %d vs %d", i, ps.NC[i], pw.NC[i])
+		}
+	}
+	if slab.Dt != walk.Dt {
+		t.Fatalf("dt differs: %.17g vs %.17g", slab.Dt, walk.Dt)
+	}
+	if slab.NbrStats.Rebuilds != walk.NbrStats.Rebuilds ||
+		slab.NbrStats.Refreshes != walk.NbrStats.Refreshes {
+		t.Fatalf("rebuild schedules diverged: slab %+v walk %+v", slab.NbrStats, walk.NbrStats)
+	}
+}
+
+// TestCellSlabListIdenticalToWalkList compares the full CSR lists —
+// indices, displacements, distances, the Ext transpose — element for
+// element between the two gather strategies on repeated plain rebuilds
+// (Skin=0 keeps every FindNeighbors a full build, and the un-inflated grid
+// is fine enough for the sweep to engage from the first call).
+func TestCellSlabListIdenticalToWalkList(t *testing.T) {
+	build := func(cellSlab bool) *sph.State {
+		p, opt := initcond.Turbulence(initcond.DefaultTurbulence(16))
+		opt.NgTarget = 32
+		opt.Skin = 0
+		opt.CellSlab = cellSlab
+		st := sph.NewState(p, opt)
+		st.FindNeighbors()
+		st.FindNeighbors() // second build exercises warm scratch reuse
+		return st
+	}
+	slab, walk := build(true), build(false)
+	ls, lw := slab.List, walk.List
+	if ls == nil || lw == nil {
+		t.Fatal("a pipeline failed to build a neighbor list")
+	}
+	if slab.NbrStats.GatherSeconds == 0 {
+		t.Fatal("slab gather never engaged on the plain builds")
+	}
+
+	i32 := []struct {
+		name string
+		a, b []int32
+	}{
+		{"Offsets", ls.Offsets, lw.Offsets}, {"Idx", ls.Idx, lw.Idx},
+		{"ExtOffsets", ls.ExtOffsets, lw.ExtOffsets}, {"ExtIdx", ls.ExtIdx, lw.ExtIdx},
+	}
+	for _, f := range i32 {
+		if len(f.a) != len(f.b) {
+			t.Fatalf("%s length %d != %d", f.name, len(f.a), len(f.b))
+		}
+		for k := range f.a {
+			if f.a[k] != f.b[k] {
+				t.Fatalf("%s[%d] = %d, walk has %d", f.name, k, f.a[k], f.b[k])
+			}
+		}
+	}
+	f64 := []struct {
+		name string
+		a, b []float64
+	}{
+		{"Dx", ls.Dx, lw.Dx}, {"Dy", ls.Dy, lw.Dy}, {"Dz", ls.Dz, lw.Dz},
+		{"Dist", ls.Dist, lw.Dist},
+		{"ExtDist", ls.ExtDist, lw.ExtDist},
+	}
+	for _, f := range f64 {
+		if len(f.a) != len(f.b) {
+			t.Fatalf("%s length %d != %d", f.name, len(f.a), len(f.b))
+		}
+		for k := range f.a {
+			if f.a[k] != f.b[k] {
+				t.Fatalf("%s[%d] = %.17g, walk has %.17g", f.name, k, f.a[k], f.b[k])
+			}
+		}
+	}
+}
+
+// compareCellSlabToWalk holds the slab-gathered list pipeline to the
+// closure-walk reference physics over multi-step runs — the same contract
+// as the existing list-vs-walk equivalence, with the slab gather asserted
+// to have actually engaged.
+func compareCellSlabToWalk(t *testing.T, mkState func() *sph.State, steps int, withGravity bool, tol float64) {
+	t.Helper()
+
+	walk := mkState()
+	walk.Opt.ClosureWalk = true
+	walk.Opt.ReorderEvery = 0
+	slab := mkState()
+	slab.Opt.CellSlab = true
+	slab.Opt.ReorderEvery = 0
+
+	var potW, potS []float64
+	if withGravity {
+		potW = make([]float64, walk.P.N)
+		potS = make([]float64, slab.P.N)
+	}
+	for s := 0; s < steps; s++ {
+		stepManual(walk, withGravity, potW)
+		stepManual(slab, withGravity, potS)
+	}
+	if slab.NbrStats.GatherSeconds == 0 {
+		t.Fatalf("slab gather never engaged in %d steps (stats %+v)", steps, slab.NbrStats)
+	}
+
+	pw, ps := walk.P, slab.P
+	for i := range pw.NC {
+		if pw.NC[i] != ps.NC[i] {
+			t.Fatalf("particle %d: neighbor count %d (walk) != %d (cellslab)", i, pw.NC[i], ps.NC[i])
+		}
+	}
+	fields := []struct {
+		name string
+		a, b []float64
+	}{
+		{"rho", pw.Rho, ps.Rho},
+		{"u", pw.U, ps.U},
+		{"h", pw.H, ps.H},
+		{"ax", pw.AX, ps.AX},
+		{"x", pw.X, ps.X},
+		{"vx", pw.VX, ps.VX},
+	}
+	for _, f := range fields {
+		if dev := maxRelDev(f.a, f.b); dev > tol {
+			t.Errorf("%s deviates by %.3g (> %g) after %d steps", f.name, dev, tol, steps)
+		}
+	}
+}
+
+func TestCellSlabMatchesClosureWalkTurbulence(t *testing.T) {
+	mk := func() *sph.State {
+		p, opt := initcond.Turbulence(initcond.DefaultTurbulence(16))
+		opt.NgTarget = 32
+		return sph.NewState(p, opt)
+	}
+	compareCellSlabToWalk(t, mk, 8, false, 1e-9)
+}
+
+func TestCellSlabMatchesClosureWalkEvrard(t *testing.T) {
+	mk := func() *sph.State {
+		p, opt := initcond.Evrard(initcond.DefaultEvrard(10))
+		opt.NgTarget = 32
+		// The slow early collapse never invalidates the skin on its own;
+		// force cadence rebuilds so the adapted grids reach the slab path.
+		opt.RebuildEvery = 2
+		return sph.NewState(p, opt)
+	}
+	compareCellSlabToWalk(t, mk, 6, true, 1e-9)
+}
+
+// TestCellSlabNgmaxOverflowBitIdentical: first-ngmax truncation depends on
+// candidate order, so an overflowing build is the sharpest probe of the
+// slab sweep's order contract.
+func TestCellSlabNgmaxOverflowBitIdentical(t *testing.T) {
+	build := func(cellSlab bool) *sph.State {
+		p, opt := initcond.Turbulence(initcond.DefaultTurbulence(16))
+		opt.NgTarget = 32
+		opt.NgMax = 8
+		opt.Skin = 0
+		opt.CellSlab = cellSlab
+		st := sph.NewState(p, opt)
+		st.FindNeighbors()
+		return st
+	}
+	slab, walk := build(true), build(false)
+	if slab.NbrStats.GatherSeconds == 0 {
+		t.Fatal("slab gather never engaged on the overflowing build")
+	}
+	if walk.List.Overflow == 0 {
+		t.Fatal("expected overflow with NgMax=8; the truncation path went untested")
+	}
+	if slab.List.Overflow != walk.List.Overflow {
+		t.Fatalf("overflow count %d (slab) != %d (walk)", slab.List.Overflow, walk.List.Overflow)
+	}
+	for i := range walk.List.Offsets {
+		if slab.List.Offsets[i] != walk.List.Offsets[i] {
+			t.Fatalf("Offsets[%d] = %d, walk has %d", i, slab.List.Offsets[i], walk.List.Offsets[i])
+		}
+	}
+	for k := range walk.List.Idx {
+		if slab.List.Idx[k] != walk.List.Idx[k] {
+			t.Fatalf("truncated Idx[%d] = %d, walk has %d", k, slab.List.Idx[k], walk.List.Idx[k])
+		}
+	}
+}
+
+// TestCellSlabCheckpointMidIntervalResume: the skin checkpoint contract
+// must survive with the slab gather on — candidates are regenerated from
+// the reference snapshot by the walk, which is valid precisely because the
+// two gathers are bit-identical.
+func TestCellSlabCheckpointMidIntervalResume(t *testing.T) {
+	p, opt := initcond.Turbulence(initcond.DefaultTurbulence(16))
+	opt.NgTarget = 32
+	opt.ReorderEvery = 3
+	opt.CellSlab = true
+
+	orig := sph.NewState(p, opt)
+	const pre, post = 8, 5
+	for s := 0; s < pre; s++ {
+		orig.RunStep(nil)
+	}
+	if orig.NbrStats.GatherSeconds == 0 {
+		t.Fatalf("slab gather never engaged during warm-up (stats %+v)", orig.NbrStats)
+	}
+	if orig.List == nil {
+		t.Fatal("no neighbor list after warm-up")
+	}
+	if orig.List.BuildStep >= orig.Step {
+		t.Fatalf("checkpoint is not mid-interval: BuildStep %d, Step %d",
+			orig.List.BuildStep, orig.Step)
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sph.ReadCheckpoint(&buf, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.List == nil || resumed.List.BuildStep != orig.List.BuildStep {
+		t.Fatal("restored state lost the skin reference snapshot")
+	}
+
+	origBase, resumedBase := orig.NbrStats, resumed.NbrStats
+	for s := 0; s < post; s++ {
+		orig.RunStep(nil)
+		resumed.RunStep(nil)
+		po, pr := orig.P, resumed.P
+		for i := 0; i < po.N; i++ {
+			if po.X[i] != pr.X[i] || po.VX[i] != pr.VX[i] || po.H[i] != pr.H[i] || po.NC[i] != pr.NC[i] {
+				t.Fatalf("step %d: particle %d diverged after resume", orig.Step, i)
+			}
+		}
+		if orig.Dt != resumed.Dt {
+			t.Fatalf("step %d: dt diverged: %.17g vs %.17g", orig.Step, orig.Dt, resumed.Dt)
+		}
+	}
+	dOrig := orig.NbrStats.Rebuilds - origBase.Rebuilds
+	dRes := resumed.NbrStats.Rebuilds - resumedBase.Rebuilds
+	if dOrig != dRes {
+		t.Fatalf("rebuild schedules diverged after resume: %d vs %d over %d steps", dOrig, dRes, post)
+	}
+}

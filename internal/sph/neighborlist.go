@@ -126,6 +126,40 @@ type listChunk struct {
 
 var listChunkPool = sync.Pool{New: func() interface{} { return new(listChunk) }}
 
+// extend grows the chunk's list arrays to capacity n (contents preserved),
+// letting a caller that knows a row's admission bound write through cursors
+// instead of per-element appends.
+func (cb *listChunk) extend(n int) {
+	// The arrays grow through different paths (appends round capacity to
+	// byte size classes, so int32 and float64 slices of equal length can
+	// diverge in capacity); every one is checked, not just idx.
+	if cap(cb.idx) >= n && cap(cb.dx) >= n && cap(cb.dy) >= n &&
+		cap(cb.dz) >= n && cap(cb.dist) >= n {
+		return
+	}
+	// Amortized geometric growth: extend is called once per row with a
+	// monotonically growing bound, so exact-fit allocation would recopy the
+	// accumulated prefix once per row — quadratic on a cold chunk.
+	if c := 2*cap(cb.idx) + 64; n < c {
+		n = c
+	}
+	idx := make([]int32, len(cb.idx), n)
+	copy(idx, cb.idx)
+	cb.idx = idx
+	dx := make([]float64, len(cb.dx), n)
+	copy(dx, cb.dx)
+	cb.dx = dx
+	dy := make([]float64, len(cb.dy), n)
+	copy(dy, cb.dy)
+	cb.dy = dy
+	dz := make([]float64, len(cb.dz), n)
+	copy(dz, cb.dz)
+	cb.dz = dz
+	dist := make([]float64, len(cb.dist), n)
+	copy(dist, cb.dist)
+	cb.dist = dist
+}
+
 func (cb *listChunk) reset(lo int) {
 	cb.lo = lo
 	cb.counts = cb.counts[:0]
@@ -195,6 +229,14 @@ func (s *State) buildNeighborList(maxH float64) float64 {
 	nl := s.List
 	nl.Ngmax = s.Opt.ngmax()
 	ng := float64(s.Opt.NgTarget)
+
+	if s.Opt.CellSlab {
+		if newMax, ok := s.buildListSlab(maxH); ok {
+			nl.refsOK, nl.candsOK = false, false
+			s.buildDerived()
+			return newMax
+		}
+	}
 
 	var mu sync.Mutex
 	chunks := make([]*listChunk, 0, par.MaxWorkers())
@@ -299,6 +341,27 @@ func (nl *NeighborList) mergeChunks(chunks []*listChunk, n int, withCands bool) 
 		nl.Overflow += cb.overflow
 	}
 	nl.Offsets[n] = off
+	if withCands {
+		nl.CandOffsets[n] = candOff
+	}
+	// Single-chunk fast path: one worker owned the whole particle range, so
+	// its buffer already IS the finished list — swap the backing arrays
+	// instead of copying them. The chunk inherits the list's previous
+	// arrays, so the pool's steady-state capacity is preserved.
+	if len(chunks) == 1 && chunks[0].lo == 0 {
+		cb := chunks[0]
+		nl.Overflow = cb.overflow
+		nl.Idx, cb.idx = cb.idx, nl.Idx[:0]
+		nl.Dx, cb.dx = cb.dx, nl.Dx[:0]
+		nl.Dy, cb.dy = cb.dy, nl.Dy[:0]
+		nl.Dz, cb.dz = cb.dz, nl.Dz[:0]
+		nl.Dist, cb.dist = cb.dist, nl.Dist[:0]
+		if withCands {
+			nl.CandIdx, cb.cand = cb.cand, nl.CandIdx[:0]
+		}
+		listChunkPool.Put(cb)
+		return
+	}
 	total := int(off)
 	nl.Idx = ensureInt32(nl.Idx, total)
 	nl.Dx = ensureF64(nl.Dx, total)
@@ -306,7 +369,6 @@ func (nl *NeighborList) mergeChunks(chunks []*listChunk, n int, withCands bool) 
 	nl.Dz = ensureF64(nl.Dz, total)
 	nl.Dist = ensureF64(nl.Dist, total)
 	if withCands {
-		nl.CandOffsets[n] = candOff
 		nl.CandIdx = ensureInt32(nl.CandIdx, int(candOff))
 	}
 	for _, cb := range chunks {

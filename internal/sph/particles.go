@@ -186,7 +186,41 @@ type Options struct {
 	// neighbor search structure with a per-neighbor callback in every
 	// pass, instead of streaming over the per-step neighbor list. Kept as
 	// the reference baseline for equivalence tests and benchmarks.
+	//
+	// The pipeline modes, from reference to fastest, and what each
+	// guarantees relative to the previous one:
+	//
+	//   - ClosureWalk: the reference. Every pass walks the grid.
+	//   - default (neighbor list): streams over the flat CSR list;
+	//     physics equal to the walk within 1e-9 relative (identical pair
+	//     sets, kernel arithmetic reordered).
+	//   - + Skin > 0 (Verlet-skin reuse): refresh steps re-derive the list
+	//     from cached candidates, bit-identical to rebuilding every step;
+	//     Skin=0 or RebuildEvery=1 reproduce the plain list byte for byte.
+	//   - + SymmetricPairs: pair passes visit each pair once and scatter
+	//     to both endpoints; equal within 1e-9 (summation order differs),
+	//     deterministic for a fixed GOMAXPROCS.
+	//   - + CellSlab: the neighbor search itself switches to the cell-slab
+	//     half-stencil sweep, which produces bit-identical lists (same
+	//     pairs, same order) — the whole-pipeline output is unchanged down
+	//     to the last bit, it is only found faster.
+	//   - Float32Eval: quantizes kernel evaluation; documented as failing
+	//     the 1e-9 gate (~1e-7), kept as a recorded verdict.
 	ClosureWalk bool
+
+	// CellSlab switches the neighbor-list construction (plain builds and
+	// Verlet-skin candidate rebuilds) from per-particle grid walks to the
+	// cell-slab sweep with a folded half-sphere gather: the grid is
+	// traversed cell by cell, candidate cells stream through contiguous
+	// SoA slabs, and each unordered pair is evaluated once, emitting both
+	// CSR directions. The resulting lists are bit-identical to the walk's
+	// (same pair sets, same order), so every equivalence and checkpoint
+	// guarantee is unchanged; rebuild cost drops roughly 2x. Grids the
+	// sweep cannot handle (octree backend, fewer than 4 cells per axis,
+	// support radii wider than a cell) fall back to the walk per rebuild.
+	// NbrStats.GatherSeconds/FilterSeconds split the rebuild cost while
+	// the slab path is active.
+	CellSlab bool
 
 	// ReorderEvery makes RunStep reorder particles along the Morton SFC
 	// every K steps (0 disables), so neighbor-list indices keep pointing
@@ -331,6 +365,14 @@ type State struct {
 	hBackup  []float64       // refresh-abort scratch: pre-update H
 	ncBackup []int32         // refresh-abort scratch: pre-update NC
 
+	// Cell-slab sweep scratch (Options.CellSlab): the sweep's reusable
+	// slab/spill buffers, the per-particle cut radii of the gather, and the
+	// gathered per-candidate squared distances (CSR-aligned with the
+	// candidate list; valid only within the build step that gathered them).
+	slab   neighbors.SlabSweep
+	cuts   []float64
+	candR2 []float64
+
 	// Symmetric-pair scratch, all reused across steps: the scatter-add
 	// accumulators, the per-particle precomputations the folded passes
 	// hoist out of the pair loop (volume elements, P/(Ω ρ²), Balsara
@@ -359,6 +401,14 @@ type NeighborStats struct {
 	RebuildCadence  int // Options.RebuildEvery interval expired
 	RebuildDrift    int // accumulated drift could hide an unseen pair
 	RebuildOverflow int // ngmax overflow during a refresh forced a rebuild
+
+	// GatherSeconds/FilterSeconds split the rebuild cost of the cell-slab
+	// path (Options.CellSlab): wall-clock spent in the candidate sweep
+	// versus the candidate→list filter, cumulative over rebuild steps.
+	// The walk-based build interleaves the two phases per particle, so
+	// both stay zero outside slab mode.
+	GatherSeconds float64
+	FilterSeconds float64
 }
 
 // NewState creates a simulation state. The first Timestep call sets Dt

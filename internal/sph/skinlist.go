@@ -107,6 +107,15 @@ func (s *State) rebuildSkin(maxH float64) float64 {
 
 	s.Grid = s.buildSearcher(p.X, p.Y, p.Z, sk*(2*maxH*hGrowthCap))
 
+	if s.Opt.CellSlab {
+		if newMax, ok := s.rebuildSkinSlab(maxH); ok {
+			nl.BuildStep = s.Step
+			nl.refsOK, nl.candsOK = true, true
+			s.buildDerived()
+			return newMax
+		}
+	}
+
 	var mu sync.Mutex
 	chunks := make([]*listChunk, 0, par.MaxWorkers())
 	newMax := par.Reduce(n, func(lo, hi int) float64 {
@@ -159,10 +168,7 @@ func (s *State) refreshSkin(maxH float64) (float64, bool) {
 	n := p.N
 	nl := s.List
 	ng := float64(s.Opt.NgTarget)
-	box := s.Opt.Box
-	lx, ly, lz := box.Lx(), box.Ly(), box.Lz()
-	hx, hy, hz := lx/2, ly/2, lz/2
-	pbx, pby, pbz := box.PBCx, box.PBCy, box.PBCz
+	geo := s.geom()
 	px, py, pz := p.X, p.Y, p.Z
 	candOff, candIdx := nl.CandOffsets, nl.CandIdx
 
@@ -178,56 +184,37 @@ func (s *State) refreshSkin(maxH float64) (float64, bool) {
 	newMax := par.Reduce(n, func(lo, hi int) float64 {
 		cb := listChunkPool.Get().(*listChunk)
 		cb.reset(lo)
+		blk := candBlockPool.Get().(*candBlock)
 		localMax := 0.0
 		for i := lo; i < hi; i++ {
 			hOld := p.H[i]
 			start := len(cb.idx)
 			bound := 2 * hGrowthCap * hOld
 			b2 := bound * bound
-			xi, yi, zi := px[i], py[i], pz[i]
-			// Inlined minimum-image fold, term for term the arithmetic of
-			// neighbors.MinImage, so refreshed displacements stay
-			// bit-identical to a fresh grid gather over the same pairs.
-			for t := candOff[i]; t < candOff[i+1]; t++ {
-				j := candIdx[t]
-				dx := xi - px[j]
-				if pbx {
-					if dx > hx {
-						dx -= lx
-					} else if dx < -hx {
-						dx += lx
-					}
-				}
-				dy := yi - py[j]
-				if pby {
-					if dy > hy {
-						dy -= ly
-					} else if dy < -hy {
-						dy += ly
-					}
-				}
-				dz := zi - pz[j]
-				if pbz {
-					if dz > hz {
-						dz -= lz
-					} else if dz < -hz {
-						dz += lz
-					}
-				}
-				r2 := dx*dx + dy*dy + dz*dz
+			// Blocked re-filter: the candidate segment streams through the
+			// dense distance kernel (computeRow inlines the minimum-image
+			// fold term for term the arithmetic of neighbors.MinImage, so
+			// refreshed displacements stay bit-identical to a fresh grid
+			// gather over the same pairs), then compare-and-compact admits
+			// the survivors by the same r² bound the grid gather uses.
+			cand := candIdx[candOff[i]:candOff[i+1]]
+			blk.computeRow(px, py, pz, px[i], py[i], pz[i], cand, geo)
+			for k := range cand {
+				r2 := blk.r2[k]
 				if r2 >= b2 {
 					continue
 				}
-				cb.idx = append(cb.idx, j)
-				cb.dx = append(cb.dx, dx)
-				cb.dy = append(cb.dy, dy)
-				cb.dz = append(cb.dz, dz)
+				cb.idx = append(cb.idx, cand[k])
+				cb.dx = append(cb.dx, blk.dx[k])
+				cb.dy = append(cb.dy, blk.dy[k])
+				cb.dz = append(cb.dz, blk.dz[k])
 				cb.dist = append(cb.dist, math.Sqrt(r2))
 			}
 			if h := finishParticle(p, cb, i, start, nl.Ngmax, hOld, ng, maxH); h > localMax {
 				localMax = h
 			}
 		}
+		candBlockPool.Put(blk)
 		mu.Lock()
 		chunks = append(chunks, cb)
 		mu.Unlock()

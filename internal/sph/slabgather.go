@@ -1,0 +1,281 @@
+package sph
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"sphenergy/internal/neighbors"
+	"sphenergy/internal/par"
+)
+
+// Cell-slab neighbor construction (Options.CellSlab). The walk-based build
+// interleaves candidate gathering and list finishing per particle; the slab
+// build splits them into two streaming phases instead:
+//
+//  1. Gather: neighbors.SlabSweep traverses the grid cell by cell and
+//     evaluates every unordered pair once (13-cell half stencil plus the
+//     intra-cell upper triangle), emitting the candidate CSR for both
+//     endpoints from a single distance evaluation — bit-identical, sets
+//     and order, to per-row ForEachNeighbor queries.
+//  2. Filter: the candidate CSR is streamed in per-row blocks through the
+//     same minimum-image recompute the Verlet-skin refresh uses, and the
+//     shared finishParticle sequence produces the final list.
+//
+// Because the gathered candidates and the recomputed displacements match
+// the walk bit for bit, every downstream guarantee — 1e-9 pipeline
+// equivalence, first-ngmax truncation, checkpointed candidate
+// regeneration, skin refresh/rebuild bit-identity — carries over
+// unchanged. Grids the sweep cannot handle (fewer than 4 cells on an axis,
+// cuts wider than a cell) fall back to the walk gather transparently.
+
+// boxGeom caches the box quantities of the inlined minimum-image fold.
+type boxGeom struct {
+	lx, ly, lz    float64
+	hx, hy, hz    float64
+	pbx, pby, pbz bool
+}
+
+func (s *State) geom() boxGeom {
+	box := s.Opt.Box
+	lx, ly, lz := box.Lx(), box.Ly(), box.Lz()
+	return boxGeom{lx, ly, lz, lx / 2, ly / 2, lz / 2, box.PBCx, box.PBCy, box.PBCz}
+}
+
+// candBlock is the per-worker scratch of the blocked candidate re-filter:
+// one particle's whole candidate segment is streamed through the distance
+// kernel into these dense buffers, then a separate compare-and-compact
+// pass admits the survivors. Splitting the passes keeps the hot loop free
+// of appends and lets the compiler eliminate the bounds checks.
+type candBlock struct {
+	dx, dy, dz, r2 []float64
+}
+
+var candBlockPool = sync.Pool{New: func() interface{} { return new(candBlock) }}
+
+func (b *candBlock) ensure(n int) {
+	if cap(b.dx) < n {
+		b.dx = make([]float64, n)
+		b.dy = make([]float64, n)
+		b.dz = make([]float64, n)
+		b.r2 = make([]float64, n)
+	}
+	b.dx, b.dy, b.dz, b.r2 = b.dx[:n], b.dy[:n], b.dz[:n], b.r2[:n]
+}
+
+// computeRow fills the block with the minimum-image displacements and
+// squared distances from (xi, yi, zi) to every candidate. The fold is
+// inlined term for term with the arithmetic of neighbors.MinImage — the
+// same contract the skin refresh relies on — so the buffered values are
+// bit-identical to a fresh grid gather over the same pairs.
+func (b *candBlock) computeRow(px, py, pz []float64, xi, yi, zi float64, cand []int32, g boxGeom) {
+	b.ensure(len(cand))
+	bdx, bdy, bdz, br2 := b.dx, b.dy, b.dz, b.r2
+	for k, j := range cand {
+		dx := xi - px[j]
+		if g.pbx {
+			if dx > g.hx {
+				dx -= g.lx
+			} else if dx < -g.hx {
+				dx += g.lx
+			}
+		}
+		dy := yi - py[j]
+		if g.pby {
+			if dy > g.hy {
+				dy -= g.ly
+			} else if dy < -g.hy {
+				dy += g.ly
+			}
+		}
+		dz := zi - pz[j]
+		if g.pbz {
+			if dz > g.hz {
+				dz -= g.lz
+			} else if dz < -g.hz {
+				dz += g.lz
+			}
+		}
+		bdx[k] = dx
+		bdy[k] = dy
+		bdz[k] = dz
+		br2[k] = dx*dx + dy*dy + dz*dz
+	}
+}
+
+// slabGather runs the cell-slab candidate sweep at the given per-particle
+// cut radii, writing the candidate CSR into the neighbor list's
+// CandOffsets/CandIdx and the per-candidate squared distances into
+// s.candR2. Returns false when the sweep is infeasible for the current
+// search structure (octree backend or degenerate grid); the caller falls
+// back to the walk gather, which produces the identical result.
+func (s *State) slabGather(cuts []float64) bool {
+	g, isGrid := s.Grid.(*neighbors.Grid)
+	if !isGrid {
+		return false
+	}
+	nl := s.List
+	off, idx, r2, ok := s.slab.Gather(g, cuts, nl.CandOffsets, nl.CandIdx, s.candR2)
+	s.candR2 = r2
+	if !ok {
+		return false
+	}
+	nl.CandOffsets, nl.CandIdx = off, idx
+	return true
+}
+
+// filterSlabCandidates derives the step's neighbor list from the freshly
+// gathered candidate CSR. The gather already evaluated every pair's
+// squared distance, so admission needs no re-evaluation: a conservative
+// r² prescreen skips clearly-out-of-bound candidates without the sqrt,
+// survivors take the exact dist < bound test the walk-based build applies
+// (every candidate is admitted on a plain build, whose gather radius is
+// the bound), and only admitted pairs get their displacement recomputed —
+// with the walk's exact minimum-image arithmetic, so the stored list is
+// bit-identical. finishParticle then runs the shared
+// count/update/truncate sequence. Returns the post-update maximum
+// smoothing length.
+func (s *State) filterSlabCandidates(maxH float64, admitAll bool) float64 {
+	p := s.P
+	n := p.N
+	nl := s.List
+	ng := float64(s.Opt.NgTarget)
+	geo := s.geom()
+	px, py, pz := p.X, p.Y, p.Z
+	candOff, candIdx := nl.CandOffsets, nl.CandIdx
+	candR2 := s.candR2
+
+	var mu sync.Mutex
+	chunks := make([]*listChunk, 0, par.MaxWorkers())
+	newMax := par.Reduce(n, func(lo, hi int) float64 {
+		cb := listChunkPool.Get().(*listChunk)
+		cb.reset(lo)
+		localMax := 0.0
+		for i := lo; i < hi; i++ {
+			hOld := p.H[i]
+			start := len(cb.idx)
+			bound := 2 * hGrowthCap * hOld
+			// Conservative upper bound on bound²: r2 at or above it can
+			// never pass dist < bound, so the sqrt is skipped. Candidates
+			// under it still take the exact walk test — the widening only
+			// keeps rounding from discarding a boundary pair.
+			b2hi := bound * bound * (1 + 0x1p-40)
+			xi, yi, zi := px[i], py[i], pz[i]
+			cand := candIdx[candOff[i]:candOff[i+1]]
+			r2row := candR2[candOff[i] : candOff[i]+int32(len(cand))]
+			// Cursor writes into pre-extended buffers: at most len(cand)
+			// admissions, so one capacity check covers the whole row and
+			// the admit path carries no per-append length bookkeeping.
+			need := start + len(cand)
+			cb.extend(need)
+			bidx := cb.idx[:need]
+			bdx := cb.dx[:need]
+			bdy := cb.dy[:need]
+			bdz := cb.dz[:need]
+			bdist := cb.dist[:need]
+			m := start
+			for k, j := range cand {
+				r2 := r2row[k]
+				if !admitAll && r2 >= b2hi {
+					continue
+				}
+				dist := math.Sqrt(r2)
+				if !admitAll && dist >= bound {
+					continue
+				}
+				dx := xi - px[j]
+				if geo.pbx {
+					if dx > geo.hx {
+						dx -= geo.lx
+					} else if dx < -geo.hx {
+						dx += geo.lx
+					}
+				}
+				dy := yi - py[j]
+				if geo.pby {
+					if dy > geo.hy {
+						dy -= geo.ly
+					} else if dy < -geo.hy {
+						dy += geo.ly
+					}
+				}
+				dz := zi - pz[j]
+				if geo.pbz {
+					if dz > geo.hz {
+						dz -= geo.lz
+					} else if dz < -geo.hz {
+						dz += geo.lz
+					}
+				}
+				bidx[m] = j
+				bdx[m] = dx
+				bdy[m] = dy
+				bdz[m] = dz
+				bdist[m] = dist
+				m++
+			}
+			cb.idx = bidx[:m]
+			cb.dx = bdx[:m]
+			cb.dy = bdy[:m]
+			cb.dz = bdz[:m]
+			cb.dist = bdist[:m]
+			if h := finishParticle(p, cb, i, start, nl.Ngmax, hOld, ng, maxH); h > localMax {
+				localMax = h
+			}
+		}
+		mu.Lock()
+		chunks = append(chunks, cb)
+		mu.Unlock()
+		return localMax
+	}, math.Max)
+	nl.mergeChunks(chunks, n, false)
+	return newMax
+}
+
+// buildListSlab is the cell-slab twin of buildNeighborList's gather loop:
+// candidates at the full post-update support 2·hGrowthCap·h_old, then the
+// blocked filter admitting every candidate (the gather radius is the
+// admission bound). Returns ok=false when the sweep is infeasible.
+func (s *State) buildListSlab(maxH float64) (float64, bool) {
+	p := s.P
+	n := p.N
+	t0 := time.Now()
+	s.cuts = ensureF64(s.cuts, n)
+	for i := 0; i < n; i++ {
+		s.cuts[i] = 2 * hGrowthCap * p.H[i]
+	}
+	if !s.slabGather(s.cuts) {
+		return 0, false
+	}
+	s.NbrStats.GatherSeconds += time.Since(t0).Seconds()
+	t1 := time.Now()
+	newMax := s.filterSlabCandidates(maxH, true)
+	s.NbrStats.FilterSeconds += time.Since(t1).Seconds()
+	return newMax, true
+}
+
+// rebuildSkinSlab is the cell-slab twin of rebuildSkin's gather loop:
+// candidates at the inflated (1+Skin)·2·hGrowthCap·h_old radius land
+// directly in the candidate CSR (no per-chunk capture/merge needed), and
+// the blocked filter admits the subset within the un-inflated bound — the
+// exact dist < bound test of the walk-based rebuild. Returns ok=false when
+// the sweep is infeasible; the caller runs the walk gather instead.
+func (s *State) rebuildSkinSlab(maxH float64) (float64, bool) {
+	p := s.P
+	n := p.N
+	sk := 1 + s.Opt.Skin
+	t0 := time.Now()
+	s.cuts = ensureF64(s.cuts, n)
+	for i := 0; i < n; i++ {
+		bound := 2 * hGrowthCap * p.H[i]
+		s.cuts[i] = sk * bound
+	}
+	if !s.slabGather(s.cuts) {
+		return 0, false
+	}
+	s.NbrStats.GatherSeconds += time.Since(t0).Seconds()
+	t1 := time.Now()
+	newMax := s.filterSlabCandidates(maxH, false)
+	s.NbrStats.FilterSeconds += time.Since(t1).Seconds()
+	return newMax, true
+}
