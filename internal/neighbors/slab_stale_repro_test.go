@@ -1,0 +1,80 @@
+package neighbors
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"sphenergy/internal/sfc"
+)
+
+// Repro: reusing a SlabSweep across gathers whose grid resolution changed
+// can replay a stale spill buffer from a worker that the aligned partition
+// skips in the second gather.
+func TestSlabSweepStaleSpillRepro(t *testing.T) {
+	prev := runtime.GOMAXPROCS(32)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+		z[i] = rng.Float64()
+	}
+	box := sfc.NewPeriodicCube(0, 1)
+
+	// Grid A: 16x16x16 = 4096 cells -> chunk=align8(128)=128, all 32 workers active.
+	gA := BuildGrid(box, x, y, z, 1.0/16)
+	cutA := make([]float64, n)
+	for i := range cutA {
+		cutA[i] = 0.9 / 16
+	}
+	// Grid B: 12x12x12 = 1728 cells -> chunk=align8(54)=56, ceil(1728/56)=31
+	// active workers; worker 31 skipped.
+	gB := BuildGrid(box, x, y, z, 1.0/12)
+	cutB := make([]float64, n)
+	for i := range cutB {
+		cutB[i] = 0.9 / 12
+	}
+
+	var reused SlabSweep
+	offA, idxA, r2A, ok := reused.Gather(gA, cutA, nil, nil, nil)
+	if !ok {
+		t.Fatal("gather A infeasible")
+	}
+	_ = offA
+	_ = idxA
+	_ = r2A
+	off2, idx2, r22, ok := reused.Gather(gB, cutB, nil, nil, nil)
+	if !ok {
+		t.Fatal("gather B infeasible")
+	}
+
+	var fresh SlabSweep
+	offF, idxF, r2F, ok := fresh.Gather(gB, cutB, nil, nil, nil)
+	if !ok {
+		t.Fatal("fresh gather infeasible")
+	}
+
+	if len(off2) != len(offF) {
+		t.Fatalf("offsets length mismatch: %d vs %d", len(off2), len(offF))
+	}
+	for i := range offF {
+		if off2[i] != offF[i] {
+			t.Fatalf("offsets[%d] mismatch: %d vs %d", i, off2[i], offF[i])
+		}
+	}
+	total := int(offF[n])
+	for k := 0; k < total; k++ {
+		if idx2[k] != idxF[k] {
+			t.Fatalf("idx[%d] mismatch: %d vs %d", k, idx2[k], idxF[k])
+		}
+		if r22[k] != r2F[k] {
+			t.Fatalf("r2[%d] mismatch: %v vs %v", k, r22[k], r2F[k])
+		}
+	}
+}
